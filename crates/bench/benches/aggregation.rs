@@ -1,0 +1,55 @@
+//! Benchmarks of heterogeneous aggregation (Algorithm 2) with nested
+//! uploads of mixed sizes — the per-round server cost of Step 6.
+
+use adaptivefl_core::aggregate::{aggregate, Upload};
+use adaptivefl_core::pool::{ModelPool, DEFAULT_RATIOS};
+use adaptivefl_core::prune::extract_submodel;
+use adaptivefl_models::ModelConfig;
+use adaptivefl_nn::layer::LayerExt;
+use adaptivefl_tensor::rng;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn mixed_uploads(cfg: &ModelConfig, pool: &ModelPool, k: usize) -> Vec<Upload> {
+    let mut r = rng::seeded(4);
+    let global = cfg.build(&cfg.full_plan(), &mut r).param_map();
+    (0..k)
+        .map(|i| Upload {
+            params: extract_submodel(&global, cfg, &pool.entry(i % pool.len()).plan),
+            weight: 10.0 + i as f32,
+        })
+        .collect()
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    for (label, cfg) in [
+        ("tiny", ModelConfig::tiny(10)),
+        ("resnet18_fast", ModelConfig::resnet18_fast(10)),
+    ] {
+        let pool = ModelPool::split(&cfg, 3, DEFAULT_RATIOS);
+        let uploads = mixed_uploads(&cfg, &pool, 10);
+        let mut r = rng::seeded(5);
+        let global = cfg.build(&cfg.full_plan(), &mut r).param_map();
+        c.bench_function(&format!("aggregate_10_mixed_{label}"), |b| {
+            b.iter(|| {
+                let mut g = global.clone();
+                aggregate(&mut g, black_box(&uploads));
+                g
+            })
+        });
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_aggregate
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Benchmarks of the width-wise pruning path: pool splitting and
+//! nested submodel extraction (the per-round server cost of Step 1).
+
+use adaptivefl_core::pool::{ModelPool, DEFAULT_RATIOS};
+use adaptivefl_core::prune::extract_submodel;
+use adaptivefl_models::ModelConfig;
+use adaptivefl_nn::layer::LayerExt;
+use adaptivefl_tensor::rng;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_split(c: &mut Criterion) {
+    let cfg = ModelConfig::vgg16_cifar();
+    c.bench_function("pool_split_vgg16_p3", |b| {
+        b.iter(|| ModelPool::split(black_box(&cfg), 3, DEFAULT_RATIOS))
+    });
+}
+
+fn bench_extract(c: &mut Criterion) {
+    for cfg in [ModelConfig::tiny(10), ModelConfig::resnet18_fast(10)] {
+        let pool = ModelPool::split(&cfg, 3, DEFAULT_RATIOS);
+        let mut r = rng::seeded(3);
+        let global = cfg.build(&cfg.full_plan(), &mut r).param_map();
+        let small = pool.entry(0).plan.clone();
+        let name = format!("extract_smallest_{:?}", cfg.kind);
+        c.bench_function(&name, |b| {
+            b.iter(|| extract_submodel(black_box(&global), &cfg, black_box(&small)))
+        });
+    }
+}
+
+fn bench_client_side_prune(c: &mut Criterion) {
+    let cfg = ModelConfig::vgg16_cifar();
+    let pool = ModelPool::split(&cfg, 3, DEFAULT_RATIOS);
+    let capacity = pool.entry(3).params + 1;
+    c.bench_function("largest_fitting_vgg16", |b| {
+        b.iter(|| pool.largest_fitting(black_box(6), black_box(capacity)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_split, bench_extract, bench_client_side_prune
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Benchmarks of the RL selection machinery: reward computation,
+//! sampling, and table updates, at the paper's 100-client scale.
+
+use adaptivefl_core::pool::{ModelPool, DEFAULT_RATIOS};
+use adaptivefl_core::rl::RlState;
+use adaptivefl_core::select::{select_client, SelectionStrategy};
+use adaptivefl_models::ModelConfig;
+use adaptivefl_tensor::rng;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_selection(c: &mut Criterion) {
+    let cfg = ModelConfig::vgg16_cifar();
+    let pool = ModelPool::split(&cfg, 3, DEFAULT_RATIOS);
+    let mut rl = RlState::new(pool.p(), 100);
+    // Warm the tables with some history.
+    for client in 0..100 {
+        rl.update_on_return(&pool, 6, Some(client % pool.len()), client);
+    }
+    let eligible: Vec<usize> = (0..100).collect();
+
+    c.bench_function("select_client_100_rl", |b| {
+        let mut r = rng::seeded(6);
+        b.iter(|| {
+            select_client(
+                SelectionStrategy::CuriosityAndResource,
+                black_box(&rl),
+                &pool,
+                3,
+                &eligible,
+                &mut r,
+            )
+        })
+    });
+
+    c.bench_function("rl_update_on_return", |b| {
+        b.iter(|| rl.update_on_return(black_box(&pool), 6, Some(2), 7))
+    });
+
+    c.bench_function("resource_reward", |b| {
+        b.iter(|| rl.resource_reward(black_box(&pool), 4, 42))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_selection
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! End-to-end benchmark: one full AdaptiveFL round (pool split already
+//! done) and one full-model evaluation, at the quick-test scale.
+
+use adaptivefl_core::methods::MethodKind;
+use adaptivefl_core::sim::{SimConfig, Simulation};
+use adaptivefl_data::{Partition, SynthSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_round(c: &mut Criterion) {
+    let mut cfg = SimConfig::quick_test(7);
+    cfg.rounds = 1;
+    cfg.eval_every = 1;
+    let mut spec = SynthSpec::test_spec(4);
+    spec.input = (3, 8, 8);
+
+    c.bench_function("adaptivefl_one_round_10_clients", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::prepare(black_box(&cfg), &spec, Partition::Iid);
+            sim.run(MethodKind::AdaptiveFl)
+        })
+    });
+
+    c.bench_function("heterofl_one_round_10_clients", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::prepare(black_box(&cfg), &spec, Partition::Iid);
+            sim.run(MethodKind::HeteroFl)
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_round
+}
+criterion_main!(benches);

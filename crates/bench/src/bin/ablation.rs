@@ -1,0 +1,104 @@
+//! Design-choice ablations beyond the paper's own (DESIGN.md §4):
+//!
+//! * **p-sweep** — pool granularity `p ∈ {1, 2, 3, 4}` (extends
+//!   Table 4's fine-vs-coarse to a curve),
+//! * **reward cap** — the `min(0.5, R_s)` success-rate cap of §3.3 on
+//!   vs off (cap = 1.0),
+//! * **ratio pair** — the (S, M) width ratios around the paper's
+//!   (0.40, 0.66).
+//!
+//! ```text
+//! cargo run --release -p adaptivefl-bench --bin ablation [--full]
+//! ```
+
+use adaptivefl_bench::{experiment_cfg, paper_models, pct, print_table, syn_cifar10, write_json, Args};
+use adaptivefl_core::methods::{AdaptiveFl, MethodKind};
+use adaptivefl_core::select::SelectionStrategy;
+use adaptivefl_core::sim::Simulation;
+use adaptivefl_data::Partition;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblationResult {
+    group: String,
+    variant: String,
+    full_acc: f32,
+    avg_acc: f32,
+    comm_waste: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let spec = syn_cifar10();
+    let [_, (_, resnet)] = paper_models(spec.classes, spec.input);
+    let mut results = Vec::new();
+
+    // (a) pool granularity sweep.
+    for p in [1usize, 2, 3, 4] {
+        let mut cfg = experiment_cfg(resnet, args, false);
+        cfg.p = p;
+        let mut sim = Simulation::prepare(&cfg, &spec, Partition::Dirichlet(0.6));
+        let r = sim.run(MethodKind::AdaptiveFl);
+        println!("p = {p}: full {}%  waste {:.1}%", pct(r.best_full_accuracy()), 100.0 * r.comm_waste_rate());
+        results.push(AblationResult {
+            group: "p-sweep".into(),
+            variant: format!("p={p}"),
+            full_acc: r.best_full_accuracy(),
+            avg_acc: r.best_avg_accuracy(),
+            comm_waste: r.comm_waste_rate(),
+        });
+    }
+
+    // (b) reward cap on/off.
+    for (label, cap) in [("cap=0.5 (paper)", 0.5f64), ("cap=1.0 (off)", 1.0)] {
+        let cfg = experiment_cfg(resnet, args, false);
+        let mut sim = Simulation::prepare(&cfg, &spec, Partition::Dirichlet(0.6));
+        let method = AdaptiveFl::new(sim.env(), SelectionStrategy::CuriosityAndResource, false)
+            .with_reward_cap(cap);
+        let r = sim.run_method(Box::new(method));
+        println!("{label}: full {}%  waste {:.1}%", pct(r.best_full_accuracy()), 100.0 * r.comm_waste_rate());
+        results.push(AblationResult {
+            group: "reward-cap".into(),
+            variant: label.into(),
+            full_acc: r.best_full_accuracy(),
+            avg_acc: r.best_avg_accuracy(),
+            comm_waste: r.comm_waste_rate(),
+        });
+    }
+
+    // (c) level width-ratio pairs around the paper's (0.40, 0.66).
+    for ratios in [(0.30f32, 0.55f32), (0.40, 0.66), (0.50, 0.75)] {
+        let mut cfg = experiment_cfg(resnet, args, false);
+        cfg.ratios = ratios;
+        let mut sim = Simulation::prepare(&cfg, &spec, Partition::Dirichlet(0.6));
+        let r = sim.run(MethodKind::AdaptiveFl);
+        let label = format!("S={},M={}", ratios.0, ratios.1);
+        println!("{label}: full {}%  waste {:.1}%", pct(r.best_full_accuracy()), 100.0 * r.comm_waste_rate());
+        results.push(AblationResult {
+            group: "ratios".into(),
+            variant: label,
+            full_acc: r.best_full_accuracy(),
+            avg_acc: r.best_avg_accuracy(),
+            comm_waste: r.comm_waste_rate(),
+        });
+    }
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.group.clone(),
+                r.variant.clone(),
+                pct(r.full_acc),
+                pct(r.avg_acc),
+                format!("{:.1}", 100.0 * r.comm_waste),
+            ]
+        })
+        .collect();
+    print_table(
+        "Design-choice ablations (SynCIFAR-10, ResNet18, alpha = 0.6)",
+        &["group", "variant", "full %", "avg %", "waste %"],
+        &rows,
+    );
+    write_json("ablation", &results);
+}

@@ -1,0 +1,66 @@
+//! Figure 3: per-level submodel accuracy and size for every
+//! heterogeneous method on SynCIFAR-10 (reduced VGG16, IID) — the
+//! paper's "shapes of VGG16 submodels with their test accuracy".
+//!
+//! Paper shape to check: HeteroFL's and ScaleFL's 1.0× models do *not*
+//! beat their 0.25× models, while AdaptiveFL's accuracy increases with
+//! submodel size.
+//!
+//! ```text
+//! cargo run --release -p adaptivefl-bench --bin fig3 [--full]
+//! ```
+
+use adaptivefl_bench::{experiment_cfg, paper_models, pct, print_table, syn_cifar10, write_json, Args};
+use adaptivefl_core::methods::MethodKind;
+use adaptivefl_core::sim::Simulation;
+use adaptivefl_data::Partition;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct LevelPoint {
+    method: String,
+    level: String,
+    accuracy: f32,
+}
+
+fn main() {
+    let args = Args::parse();
+    let spec = syn_cifar10();
+    let [(_, vgg), _] = paper_models(spec.classes, spec.input);
+    let cfg = experiment_cfg(vgg, args, false);
+    let methods = [
+        MethodKind::Decoupled,
+        MethodKind::HeteroFl,
+        MethodKind::ScaleFl,
+        MethodKind::AdaptiveFl,
+    ];
+
+    let mut points = Vec::new();
+    let mut rows = Vec::new();
+    let mut sim = Simulation::prepare(&cfg, &spec, Partition::Iid);
+    for kind in methods {
+        let r = sim.run(kind);
+        let last = r.evals.last().expect("evaluated");
+        let mut row = vec![r.method.clone()];
+        for (level, acc) in &last.levels {
+            row.push(format!("{level}={}", pct(*acc)));
+            points.push(LevelPoint { method: r.method.clone(), level: level.clone(), accuracy: *acc });
+        }
+        rows.push(row);
+        // Monotonicity indicator: does accuracy grow with size?
+        let accs: Vec<f32> = last.levels.iter().map(|(_, a)| *a).collect();
+        let monotone = accs.windows(2).all(|w| w[1] >= w[0] - 0.02);
+        println!(
+            "{:<12} small→large accuracies {:?} — monotone: {monotone}",
+            points.last().map(|p| p.method.as_str()).unwrap_or(""),
+            accs.iter().map(|a| pct(*a)).collect::<Vec<_>>()
+        );
+    }
+
+    print_table(
+        "Figure 3: per-level submodel accuracy (%) at the final round",
+        &["method", "small", "medium", "large"],
+        &rows,
+    );
+    write_json("fig3", &points);
+}

@@ -1,0 +1,76 @@
+//! Renders every record under `results/` into one markdown report
+//! (`results/SUMMARY.md`) — handy after `./run_experiments.sh`.
+//!
+//! ```text
+//! cargo run --release -p adaptivefl-bench --bin summarize
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+
+use adaptivefl_bench::results_dir;
+use serde_json::Value;
+
+fn main() {
+    let dir = results_dir();
+    let mut out = String::from("# AdaptiveFL reproduction — results summary\n");
+    let mut entries: Vec<_> = fs::read_dir(&dir)
+        .expect("results dir readable")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    entries.sort();
+
+    for path in entries {
+        let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("?");
+        let Ok(body) = fs::read_to_string(&path) else { continue };
+        let Ok(value) = serde_json::from_str::<Value>(&body) else { continue };
+        let _ = writeln!(out, "\n## {name}\n");
+        match &value {
+            Value::Array(rows) if !rows.is_empty() => {
+                // Render an array of flat objects as a table.
+                if let Some(Value::Object(first)) = rows.first() {
+                    let cols: Vec<&String> = first.keys().collect();
+                    let _ = writeln!(
+                        out,
+                        "| {} |",
+                        cols.iter().map(|c| c.as_str()).collect::<Vec<_>>().join(" | ")
+                    );
+                    let _ = writeln!(out, "|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+                    for row in rows {
+                        if let Value::Object(obj) = row {
+                            let cells: Vec<String> = cols
+                                .iter()
+                                .map(|c| match obj.get(*c) {
+                                    Some(Value::Number(n)) => {
+                                        let f = n.as_f64().unwrap_or(0.0);
+                                        if f.fract() == 0.0 && f.abs() < 1e15 {
+                                            format!("{f:.0}")
+                                        } else {
+                                            format!("{f:.4}")
+                                        }
+                                    }
+                                    Some(Value::String(s)) => s.clone(),
+                                    Some(v) => v.to_string(),
+                                    None => String::new(),
+                                })
+                                .collect();
+                            let _ = writeln!(out, "| {} |", cells.join(" | "));
+                        }
+                    }
+                } else {
+                    let _ = writeln!(out, "```json\n{body}\n```");
+                }
+            }
+            _ => {
+                let _ = writeln!(out, "```json\n{body}\n```");
+            }
+        }
+        let _ = writeln!(out, "\n*({} entries)*", value.as_array().map_or(1, Vec::len));
+    }
+
+    let target = dir.join("SUMMARY.md");
+    fs::write(&target, out).expect("write summary");
+    println!("wrote {}", target.display());
+}

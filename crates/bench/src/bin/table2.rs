@@ -1,0 +1,118 @@
+//! Table 2: test accuracy (avg / full) of the five methods on
+//! SynCIFAR-10 and SynCIFAR-100 (IID, α = 0.6, α = 0.3) and SynFEMNIST
+//! (naturally non-IID), with reduced VGG16 and ResNet18 models.
+//!
+//! ```text
+//! cargo run --release -p adaptivefl-bench --bin table2 [--full]
+//! ```
+
+use adaptivefl_bench::{
+    experiment_cfg, paper_models, pct, print_table, syn_cifar10, syn_cifar100, syn_femnist,
+    write_json, Args,
+};
+use adaptivefl_core::methods::MethodKind;
+use adaptivefl_core::sim::Simulation;
+use adaptivefl_data::{Partition, SynthSpec};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    model: String,
+    dataset: String,
+    partition: String,
+    method: String,
+    avg: f32,
+    full: f32,
+}
+
+type DatasetPanel = (&'static str, SynthSpec, Vec<(&'static str, Partition)>);
+
+fn main() {
+    let args = Args::parse();
+    let datasets: Vec<DatasetPanel> = vec![
+        (
+            "SynCIFAR-10",
+            syn_cifar10(),
+            vec![
+                ("IID", Partition::Iid),
+                ("a=0.6", Partition::Dirichlet(0.6)),
+                ("a=0.3", Partition::Dirichlet(0.3)),
+            ],
+        ),
+        (
+            "SynCIFAR-100",
+            syn_cifar100(),
+            vec![
+                ("IID", Partition::Iid),
+                ("a=0.6", Partition::Dirichlet(0.6)),
+                ("a=0.3", Partition::Dirichlet(0.3)),
+            ],
+        ),
+        ("SynFEMNIST", syn_femnist(), vec![("writer", Partition::ByGroup)]),
+    ];
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for (ds_name, spec, partitions) in &datasets {
+        for (model_name, model) in paper_models(spec.classes, spec.input) {
+            for (part_name, partition) in partitions {
+                let hard = *ds_name != "SynCIFAR-10";
+                let mut cfg = experiment_cfg(model, args, hard);
+                if *ds_name == "SynFEMNIST" {
+                    cfg.num_clients = 180; // paper: 180 FEMNIST clients
+                    cfg.clients_per_round = 18;
+                    cfg.rounds = if args.full { 80 } else { 32 };
+                    cfg.eval_every = cfg.rounds / 4;
+                }
+                println!("\n--- {model_name} / {ds_name} / {part_name} ---");
+                let mut sim = Simulation::prepare(&cfg, spec, *partition);
+                for kind in MethodKind::table2_lineup() {
+                    let r = sim.run(kind);
+                    let (avg, full) = (r.best_avg_accuracy(), r.best_full_accuracy());
+                    println!("  {:<12} avg {:>5}%  full {:>5}%", r.method, pct(avg), pct(full));
+                    cells.push(Cell {
+                        model: model_name.to_string(),
+                        dataset: ds_name.to_string(),
+                        partition: part_name.to_string(),
+                        method: r.method,
+                        avg,
+                        full,
+                    });
+                }
+            }
+        }
+    }
+
+    // Paper-shaped summary table: one row per (model, method), columns
+    // per dataset/partition, each cell "avg/full".
+    let mut rows = Vec::new();
+    for (model_name, _) in paper_models(10, (3, 8, 8)) {
+        for kind in MethodKind::table2_lineup() {
+            let method = kind.to_string();
+            let mut row = vec![model_name.to_string(), method.clone()];
+            for (ds_name, _, partitions) in &datasets {
+                for (part_name, _) in partitions {
+                    let cell = cells.iter().find(|c| {
+                        c.model == model_name
+                            && c.method == method
+                            && &c.dataset == ds_name
+                            && &c.partition == part_name
+                    });
+                    row.push(match cell {
+                        Some(c) => format!("{}/{}", pct(c.avg), pct(c.full)),
+                        None => "-".into(),
+                    });
+                }
+            }
+            rows.push(row);
+        }
+    }
+    print_table(
+        "Table 2: accuracy avg/full (%) — paper shape: AdaptiveFL best in every column",
+        &[
+            "model", "method", "C10 IID", "C10 a.6", "C10 a.3", "C100 IID", "C100 a.6",
+            "C100 a.3", "FEMNIST",
+        ],
+        &rows,
+    );
+    write_json("table2", &cells);
+}

@@ -1,0 +1,71 @@
+//! Table 3: performance under different weak:medium:strong device
+//! proportions (4:3:3, 8:1:1, 1:8:1, 1:1:8) on SynCIFAR-10 with the
+//! reduced VGG16.
+//!
+//! ```text
+//! cargo run --release -p adaptivefl-bench --bin table3 [--full]
+//! ```
+
+use adaptivefl_bench::{experiment_cfg, paper_models, pct, print_table, syn_cifar10, write_json, Args};
+use adaptivefl_core::methods::MethodKind;
+use adaptivefl_core::sim::Simulation;
+use adaptivefl_data::Partition;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    proportion: String,
+    method: String,
+    avg: f32,
+    full: f32,
+}
+
+fn main() {
+    let args = Args::parse();
+    let spec = syn_cifar10();
+    let [(_, vgg), _] = paper_models(spec.classes, spec.input);
+    let proportions: [(&str, (usize, usize, usize)); 4] =
+        [("4:3:3", (4, 3, 3)), ("8:1:1", (8, 1, 1)), ("1:8:1", (1, 8, 1)), ("1:1:8", (1, 1, 8))];
+    let methods = [
+        MethodKind::AllLarge,
+        MethodKind::HeteroFl,
+        MethodKind::ScaleFl,
+        MethodKind::AdaptiveFl,
+    ];
+
+    let mut cells = Vec::new();
+    for (pname, prop) in proportions {
+        let mut cfg = experiment_cfg(vgg, args, false);
+        cfg.proportions = prop;
+        println!("\n--- proportion {pname} ---");
+        let mut sim = Simulation::prepare(&cfg, &spec, Partition::Iid);
+        for kind in methods {
+            let r = sim.run(kind);
+            let (avg, full) = (r.best_avg_accuracy(), r.best_full_accuracy());
+            println!("  {:<12} avg {:>5}%  full {:>5}%", r.method, pct(avg), pct(full));
+            cells.push(Cell { proportion: pname.to_string(), method: r.method, avg, full });
+        }
+    }
+
+    let rows: Vec<Vec<String>> = methods
+        .iter()
+        .map(|kind| {
+            let name = kind.to_string();
+            let mut row = vec![name.clone()];
+            for (pname, _) in proportions {
+                let c = cells
+                    .iter()
+                    .find(|c| c.method == name && c.proportion == pname)
+                    .expect("cell exists");
+                row.push(format!("{}/{}", pct(c.avg), pct(c.full)));
+            }
+            row
+        })
+        .collect();
+    print_table(
+        "Table 3: accuracy avg/full (%) by device proportion — paper shape: AdaptiveFL best everywhere; all methods improve as strong devices increase",
+        &["method", "4:3:3", "8:1:1", "1:8:1", "1:1:8"],
+        &rows,
+    );
+    write_json("table3", &cells);
+}

@@ -1,0 +1,88 @@
+//! Table 4: fine-grained (p = 3) vs coarse-grained (p = 1) pruning
+//! ablation of AdaptiveFL on SynCIFAR-10 and SynCIFAR-100 with both
+//! reduced models.
+//!
+//! ```text
+//! cargo run --release -p adaptivefl-bench --bin table4 [--full]
+//! ```
+
+use adaptivefl_bench::{
+    experiment_cfg, paper_models, pct, print_table, syn_cifar10, syn_cifar100, write_json, Args,
+};
+use adaptivefl_core::methods::MethodKind;
+use adaptivefl_core::sim::Simulation;
+use adaptivefl_data::Partition;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    dataset: String,
+    model: String,
+    grained: String,
+    partition: String,
+    full: f32,
+}
+
+fn main() {
+    let args = Args::parse();
+    let partitions = [
+        ("IID", Partition::Iid),
+        ("a=0.6", Partition::Dirichlet(0.6)),
+        ("a=0.3", Partition::Dirichlet(0.3)),
+    ];
+    let mut cells = Vec::new();
+
+    for (ds_name, spec) in [("SynCIFAR-10", syn_cifar10()), ("SynCIFAR-100", syn_cifar100())] {
+        for (model_name, model) in paper_models(spec.classes, spec.input) {
+            for (part_name, partition) in partitions {
+                for (grained, p) in [("coarse", 1usize), ("fine", 3usize)] {
+                    let hard = ds_name != "SynCIFAR-10";
+                    let mut cfg = experiment_cfg(model, args, hard);
+                    cfg.p = p;
+                    let mut sim = Simulation::prepare(&cfg, &spec, partition);
+                    let r = sim.run(MethodKind::AdaptiveFl);
+                    let full = r.best_full_accuracy();
+                    println!(
+                        "{ds_name} / {model_name} / {part_name} / {grained}: {}%",
+                        pct(full)
+                    );
+                    cells.push(Cell {
+                        dataset: ds_name.to_string(),
+                        model: model_name.to_string(),
+                        grained: grained.to_string(),
+                        partition: part_name.to_string(),
+                        full,
+                    });
+                }
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    for ds in ["SynCIFAR-10", "SynCIFAR-100"] {
+        for model in ["VGG16", "ResNet18"] {
+            for grained in ["coarse", "fine"] {
+                let mut row = vec![ds.to_string(), model.to_string(), grained.to_string()];
+                for (part_name, _) in partitions {
+                    let c = cells
+                        .iter()
+                        .find(|c| {
+                            c.dataset == ds
+                                && c.model == model
+                                && c.grained == grained
+                                && c.partition == part_name
+                        })
+                        .expect("cell exists");
+                    row.push(pct(c.full));
+                }
+                rows.push(row);
+            }
+        }
+    }
+    print_table(
+        "Table 4: fine vs coarse pruning (global accuracy %) — paper shape: fine > coarse in nearly every cell",
+        &["dataset", "model", "grained", "IID", "a=0.6", "a=0.3"],
+        &rows,
+    );
+    write_json("table4", &cells);
+}

@@ -1,0 +1,198 @@
+//! Shared experiment harness for the table/figure reproduction
+//! binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper: it prints the paper-shaped rows to stdout and writes
+//! machine-readable JSON/CSV records under `results/`.
+//!
+//! All binaries accept `--full` for a larger (slower) configuration and
+//! `--seed <n>` to change the master seed; the default fast mode is
+//! calibrated for a single CPU core.
+
+use std::fs;
+use std::path::PathBuf;
+
+use adaptivefl_core::sim::SimConfig;
+use adaptivefl_data::SynthSpec;
+use adaptivefl_models::ModelConfig;
+use serde::Serialize;
+
+/// Command-line options shared by every experiment binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Args {
+    /// Larger, slower configuration (more rounds/samples).
+    pub full: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Args {
+    /// Parses `--full` and `--seed <n>` from `std::env::args`.
+    pub fn parse() -> Self {
+        let mut full = false;
+        let mut seed = 2024u64;
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--full" => full = true,
+                "--seed" => {
+                    seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                other => eprintln!("ignoring unknown argument {other}"),
+            }
+        }
+        Args { full, seed }
+    }
+}
+
+/// The `results/` directory at the workspace root (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes a serialisable record as pretty JSON under `results/`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let body = serde_json::to_string_pretty(value).expect("serialise results");
+    fs::write(&path, body).expect("write results file");
+    println!("[wrote {}]", path.display());
+}
+
+/// Writes CSV rows under `results/`.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let path = results_dir().join(format!("{name}.csv"));
+    let mut body = String::from(header);
+    body.push('\n');
+    for r in rows {
+        body.push_str(r);
+        body.push('\n');
+    }
+    fs::write(&path, body).expect("write csv file");
+    println!("[wrote {}]", path.display());
+}
+
+/// Prints a fixed-width table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let width = 12usize;
+    let head: Vec<String> = headers.iter().map(|h| format!("{h:>width$}")).collect();
+    println!("{}", head.join(" "));
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|c| format!("{c:>width$}")).collect();
+        println!("{}", cells.join(" "));
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f32) -> String {
+    format!("{:.1}", 100.0 * x)
+}
+
+/// The reduced-scale input used by all training experiments.
+pub const FAST_INPUT_RGB: (usize, usize, usize) = (3, 8, 8);
+/// Reduced single-channel input (FEMNIST/Widar stand-ins).
+pub const FAST_INPUT_GRAY: (usize, usize, usize) = (1, 8, 8);
+
+/// SynCIFAR-10: the CIFAR-10 stand-in at experiment resolution.
+pub fn syn_cifar10() -> SynthSpec {
+    let mut s = SynthSpec::cifar10_like();
+    s.input = FAST_INPUT_RGB;
+    s
+}
+
+/// SynCIFAR-100 stand-in (100 classes). The generator is tuned so the
+/// 100-class task separates methods within the reduced round budget
+/// (the paper trains for ~500 rounds; we cannot).
+pub fn syn_cifar100() -> SynthSpec {
+    let mut s = SynthSpec::cifar100_like();
+    s.input = FAST_INPUT_RGB;
+    s.signal = 1.5;
+    s.noise = 0.45;
+    s.distortion = 0.30;
+    s
+}
+
+/// SynFEMNIST stand-in (62 classes, writer groups), tuned like
+/// [`syn_cifar100`] for the reduced round budget.
+pub fn syn_femnist() -> SynthSpec {
+    let mut s = SynthSpec::femnist_like();
+    s.input = FAST_INPUT_GRAY;
+    s.signal = 1.5;
+    s.noise = 0.40;
+    s
+}
+
+/// SynWidar stand-in (22 gestures, device groups), tuned to be
+/// learnable at the reduced resolution.
+pub fn syn_widar() -> SynthSpec {
+    let mut s = SynthSpec::widar_like();
+    s.input = FAST_INPUT_GRAY;
+    s.signal = 1.6;
+    s.group_shift = 0.5;
+    s
+}
+
+/// The two reduced model families of the accuracy experiments,
+/// matching the paper's VGG16 / ResNet18 line-up.
+pub fn paper_models(
+    classes: usize,
+    input: (usize, usize, usize),
+) -> [(&'static str, ModelConfig); 2] {
+    [
+        ("VGG16", ModelConfig { input, classes, ..ModelConfig::vgg16_fast(classes) }),
+        ("ResNet18", ModelConfig { input, classes, ..ModelConfig::resnet18_fast(classes) }),
+    ]
+}
+
+/// The standard experiment configuration: the paper's protocol (100
+/// clients, 10 % participation, 4:3:3 fleet, uncertain resources) at
+/// reduced scale; `--full` raises rounds and data volume. `hard`
+/// doubles the round budget for the many-class tasks (SynCIFAR-100,
+/// SynFEMNIST), which need longer to separate methods.
+pub fn experiment_cfg(model: ModelConfig, args: Args, hard: bool) -> SimConfig {
+    let mut cfg = SimConfig::fast(model, args.seed);
+    if args.full {
+        cfg.rounds = if hard { 100 } else { 60 };
+        cfg.samples_per_client = 50;
+        cfg.test_samples = 600;
+    } else {
+        cfg.rounds = if hard { 40 } else { 28 };
+        cfg.samples_per_client = if hard { 30 } else { 25 };
+        cfg.test_samples = 300;
+    }
+    cfg.eval_every = cfg.rounds.div_ceil(4);
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_match_fast_models() {
+        let spec = syn_cifar10();
+        let [(_, vgg), (_, resnet)] = paper_models(spec.classes, spec.input);
+        assert_eq!(vgg.input, spec.input);
+        assert_eq!(resnet.classes, spec.classes);
+    }
+
+    #[test]
+    fn experiment_cfg_scales_with_full() {
+        let spec = syn_cifar10();
+        let [(_, m), _] = paper_models(spec.classes, spec.input);
+        let fast = experiment_cfg(m, Args { full: false, seed: 1 }, false);
+        let full = experiment_cfg(m, Args { full: true, seed: 1 }, true);
+        assert!(full.rounds > fast.rounds);
+        assert!(full.samples_per_client > fast.samples_per_client);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.8314), "83.1");
+    }
+}

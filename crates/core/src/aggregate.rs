@@ -1,0 +1,164 @@
+//! Heterogeneous model aggregation — Algorithm 2 of the paper.
+//!
+//! Every uploaded submodel contributes `w · |d_c|` to the accumulator
+//! of each parameter element it covers (prefix block of the full
+//! tensor); covered elements become the weighted average, untouched
+//! elements keep their previous global value (line 14 of Algorithm 2).
+
+use adaptivefl_nn::ParamMap;
+use adaptivefl_tensor::{SliceSpec, Tensor};
+
+/// One client upload: the trained submodel parameters and the client's
+/// local data size `|d_c|` (the aggregation weight).
+#[derive(Debug, Clone)]
+pub struct Upload {
+    /// Trained submodel parameters.
+    pub params: ParamMap,
+    /// Local data size `|d_c|`.
+    pub weight: f32,
+}
+
+/// Aggregates uploads into the global model in place (Algorithm 2).
+///
+/// Upload tensors must be prefix blocks of the corresponding global
+/// tensors; upload parameter names must exist in the global map.
+///
+/// # Panics
+///
+/// Panics if an upload has an unknown parameter name, a non-nested
+/// shape, or a non-positive weight.
+pub fn aggregate(global: &mut ParamMap, uploads: &[Upload]) {
+    if uploads.is_empty() {
+        return;
+    }
+    for u in uploads {
+        assert!(u.weight > 0.0, "upload weight must be positive");
+    }
+    // Accumulate per parameter name.
+    let names: Vec<String> = global.names().map(String::from).collect();
+    for name in names {
+        let g = global.get_mut(&name).expect("name from global");
+        let mut acc = Tensor::zeros(g.shape());
+        let mut cnt = Tensor::zeros(g.shape());
+        let mut touched = false;
+        for u in uploads {
+            if let Some(block) = u.params.get(&name) {
+                let spec = SliceSpec::new(block.shape().to_vec());
+                assert!(
+                    spec.fits_in(g.shape()),
+                    "upload for {name} has non-nested shape {:?} vs {:?}",
+                    block.shape(),
+                    g.shape()
+                );
+                spec.scatter_add(block, u.weight, &mut acc, &mut cnt);
+                touched = true;
+            }
+        }
+        if !touched {
+            continue;
+        }
+        let gv = g.as_mut_slice();
+        let av = acc.as_slice();
+        let cv = cnt.as_slice();
+        for i in 0..gv.len() {
+            if cv[i] > 0.0 {
+                gv[i] = av[i] / cv[i];
+            }
+            // else: keep the previous global value (Algorithm 2, l.14).
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(&str, Tensor)]) -> ParamMap {
+        let mut m = ParamMap::new();
+        for (n, t) in pairs {
+            m.insert(*n, t.clone());
+        }
+        m
+    }
+
+    #[test]
+    fn homogeneous_uploads_reduce_to_fedavg() {
+        let mut global = map(&[("w", Tensor::zeros(&[2, 2]))]);
+        let u1 = Upload { params: map(&[("w", Tensor::full(&[2, 2], 1.0))]), weight: 10.0 };
+        let u2 = Upload { params: map(&[("w", Tensor::full(&[2, 2], 4.0))]), weight: 30.0 };
+        aggregate(&mut global, &[u1, u2]);
+        // (1·10 + 4·30)/40 = 3.25 everywhere.
+        assert!(global.get("w").unwrap().as_slice().iter().all(|&v| (v - 3.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn uncovered_elements_keep_previous_values() {
+        let mut global = map(&[("w", Tensor::full(&[3, 3], 7.0))]);
+        let small = Upload { params: map(&[("w", Tensor::full(&[2, 2], 1.0))]), weight: 5.0 };
+        aggregate(&mut global, &[small]);
+        let g = global.get("w").unwrap();
+        assert_eq!(g.at(&[0, 0]), 1.0);
+        assert_eq!(g.at(&[1, 1]), 1.0);
+        assert_eq!(g.at(&[2, 2]), 7.0); // untouched
+        assert_eq!(g.at(&[0, 2]), 7.0); // untouched
+    }
+
+    #[test]
+    fn heterogeneous_overlap_weights_by_data_size() {
+        let mut global = map(&[("w", Tensor::zeros(&[2]))]);
+        // Small client covers element 0 only; big client covers both.
+        let small = Upload { params: map(&[("w", Tensor::full(&[1], 0.0))]), weight: 10.0 };
+        let big = Upload { params: map(&[("w", Tensor::full(&[2], 3.0))]), weight: 10.0 };
+        aggregate(&mut global, &[small, big]);
+        let g = global.get("w").unwrap();
+        assert!((g.as_slice()[0] - 1.5).abs() < 1e-6); // (0·10+3·10)/20
+        assert!((g.as_slice()[1] - 3.0).abs() < 1e-6); // only big
+    }
+
+    #[test]
+    fn uploads_may_omit_whole_parameters() {
+        // E.g. a depth-pruned ScaleFL client omits deep-layer params.
+        let mut global = map(&[
+            ("deep", Tensor::full(&[2], 9.0)),
+            ("shallow", Tensor::zeros(&[2])),
+        ]);
+        let u = Upload { params: map(&[("shallow", Tensor::ones(&[2]))]), weight: 1.0 };
+        aggregate(&mut global, &[u]);
+        assert_eq!(global.get("deep").unwrap().as_slice(), &[9.0, 9.0]);
+        assert_eq!(global.get("shallow").unwrap().as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_upload_list_is_noop() {
+        let mut global = map(&[("w", Tensor::full(&[2], 5.0))]);
+        let before = global.clone();
+        aggregate(&mut global, &[]);
+        assert_eq!(global, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn rejects_zero_weight() {
+        let mut global = map(&[("w", Tensor::zeros(&[1]))]);
+        let u = Upload { params: map(&[("w", Tensor::zeros(&[1]))]), weight: 0.0 };
+        aggregate(&mut global, &[u]);
+    }
+
+    #[test]
+    fn aggregation_preserves_nesting_semantics() {
+        // Three nested uploads: sizes 1, 2, 3 of a length-3 vector.
+        let mut global = map(&[("w", Tensor::zeros(&[3]))]);
+        let us: Vec<Upload> = (1..=3)
+            .map(|k| Upload {
+                params: map(&[("w", Tensor::full(&[k], k as f32))]),
+                weight: 1.0,
+            })
+            .collect();
+        aggregate(&mut global, &us);
+        let g = global.get("w").unwrap();
+        // Element 0: mean(1,2,3)=2; element 1: mean(2,3)=2.5; element 2: 3.
+        assert!((g.as_slice()[0] - 2.0).abs() < 1e-6);
+        assert!((g.as_slice()[1] - 2.5).abs() < 1e-6);
+        assert!((g.as_slice()[2] - 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,32 @@
+//! Error type for the federated engine.
+
+/// Errors surfaced by the federated engine's fallible entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// An experiment configuration is internally inconsistent.
+    InvalidConfig(String),
+    /// A parameter expected in a model exchange was missing.
+    MissingParameter(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::MissingParameter(name) => write!(f, "missing parameter {name}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = CoreError::InvalidConfig("p must be positive".into());
+        assert_eq!(e.to_string(), "invalid configuration: p must be positive");
+    }
+}

@@ -1,0 +1,56 @@
+//! The AdaptiveFL federated-learning engine (DAC 2024 reproduction).
+//!
+//! This crate implements the paper's contribution and all the
+//! comparison methods on top of the substrate crates:
+//!
+//! * [`pool`] — the fine-grained width-wise model pool
+//!   (`Split(M)` of Algorithm 1): `2p+1` nested submodels across the
+//!   Small / Medium / Large levels, each a `(r_w, I)` prune of the
+//!   global model.
+//! * [`prune`] — nested parameter extraction and the client-side
+//!   available-resource-aware pruning (`argmax size ≤ Γ`).
+//! * [`aggregate`] — heterogeneous aggregation (Algorithm 2):
+//!   per-element data-size-weighted averaging with untouched elements
+//!   keeping their previous value.
+//! * [`rl`] — the curiosity table `T_c`, resource table `T_r`, reward
+//!   functions and table updates of §3.3.
+//! * [`select`] — client-selection strategies: the RL policy and the
+//!   ablation variants (+Greed, +Random, +C, +S, +CS).
+//! * [`methods`] — AdaptiveFL itself plus the four baselines
+//!   (All-Large, Decoupled, HeteroFL, ScaleFL) behind one
+//!   [`FlMethod`](methods::FlMethod) trait.
+//! * [`sim`] — the round-loop simulator that produces the metrics the
+//!   paper reports (accuracy per level, learning curves,
+//!   communication-waste rate, simulated wall-clock).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use adaptivefl_core::sim::{SimConfig, Simulation};
+//! use adaptivefl_core::methods::MethodKind;
+//! use adaptivefl_data::{Partition, SynthSpec};
+//!
+//! let cfg = SimConfig::quick_test(42);
+//! let mut sim = Simulation::prepare(
+//!     &cfg,
+//!     &SynthSpec::cifar10_like(),
+//!     Partition::Dirichlet(0.6),
+//! );
+//! let result = sim.run(MethodKind::AdaptiveFl);
+//! println!("final accuracy: {:.2}%", 100.0 * result.final_full_accuracy());
+//! ```
+
+pub mod aggregate;
+pub mod compress;
+pub mod error;
+pub mod methods;
+pub mod metrics;
+pub mod pool;
+pub mod prune;
+pub mod rl;
+pub mod select;
+pub mod sim;
+pub mod trainer;
+
+pub use error::CoreError;
+pub use pool::{Level, ModelPool, PoolEntry};

@@ -1,0 +1,169 @@
+//! AdaptiveFL — Algorithm 1 of the paper.
+
+use adaptivefl_models::cost::cost_of;
+use adaptivefl_nn::layer::LayerExt;
+use adaptivefl_nn::ParamMap;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::aggregate::{aggregate, Upload};
+use crate::methods::FlMethod;
+use crate::metrics::{EvalRecord, RoundRecord};
+use crate::prune::extract_submodel;
+use crate::rl::RlState;
+use crate::select::{select_client, SelectionStrategy};
+use crate::sim::Env;
+use crate::trainer::evaluate;
+
+/// AdaptiveFL server state: the full global model, the RL tables, and
+/// the selection strategy (ablation variants reuse this struct).
+pub struct AdaptiveFl {
+    global: ParamMap,
+    rl: RlState,
+    strategy: SelectionStrategy,
+    /// "AdaptiveFL+Greed": skip the random model pick and always
+    /// dispatch `L_1`.
+    greedy_dispatch: bool,
+}
+
+impl AdaptiveFl {
+    /// Initialises the global model and RL tables for an environment.
+    pub fn new(env: &Env, strategy: SelectionStrategy, greedy_dispatch: bool) -> Self {
+        AdaptiveFl {
+            global: env.fresh_global(),
+            rl: RlState::new(env.pool.p(), env.data.num_clients()),
+            strategy,
+            greedy_dispatch,
+        }
+    }
+
+    /// Overrides the resource-reward cap (paper default 0.5) — used by
+    /// the design-choice ablation benches.
+    pub fn with_reward_cap(mut self, cap: f64) -> Self {
+        self.rl = self.rl.with_reward_cap(cap);
+        self
+    }
+
+    /// Read access to the RL state (for diagnostics/tests).
+    pub fn rl(&self) -> &RlState {
+        &self.rl
+    }
+
+    /// Read access to the global model.
+    pub fn global(&self) -> &ParamMap {
+        &self.global
+    }
+}
+
+impl FlMethod for AdaptiveFl {
+    fn name(&self) -> String {
+        if self.greedy_dispatch {
+            "AdaptiveFL+Greed".to_string()
+        } else {
+            match self.strategy {
+                SelectionStrategy::CuriosityAndResource => "AdaptiveFL".to_string(),
+                s => format!("AdaptiveFL+{s}"),
+            }
+        }
+    }
+
+    fn round(&mut self, env: &Env, round: usize, rng: &mut ChaCha8Rng) -> RoundRecord {
+        let pool = &env.pool;
+        let k = env.cfg.clients_per_round;
+        let mut eligible = env.eligible_clients(round);
+
+        // Step 2+3: pick (model, client) pairs; clients are distinct
+        // within a round.
+        let mut assignments: Vec<(usize, usize)> = Vec::with_capacity(k); // (pool idx, client)
+        for _ in 0..k {
+            if eligible.is_empty() {
+                break;
+            }
+            let m_idx = if self.greedy_dispatch {
+                pool.len() - 1
+            } else {
+                // RandomSel: the paper leaves the distribution over the
+                // pool unspecified; we sample a level uniformly, then a
+                // member within the level, so the full model is trained
+                // as often as each pruned level (pure uniform over the
+                // 2p+1 entries starves L_1 at small round budgets).
+                let level = crate::pool::Level::all()[rng.gen_range(0..3)];
+                let members = pool.level_indices(level);
+                members[rng.gen_range(0..members.len())]
+            };
+            let Some(c) = select_client(self.strategy, &self.rl, pool, m_idx, &eligible, rng)
+            else {
+                break;
+            };
+            eligible.retain(|&x| x != c);
+            assignments.push((m_idx, c));
+        }
+
+        // Steps 4-5: local training with client-side adaptive pruning.
+        let mut uploads = Vec::with_capacity(assignments.len());
+        let mut sent = 0u64;
+        let mut returned = 0u64;
+        let mut loss_acc = 0.0f32;
+        let mut trained = 0usize;
+        let mut failures = 0usize;
+        let mut slowest = 0.0f64;
+
+        for &(m_idx, c) in &assignments {
+            let entry = pool.entry(m_idx);
+            self.rl.update_on_dispatch(entry.level, c);
+            sent += entry.params;
+
+            let capacity = env.fleet.device(c).capacity_at(round);
+            let Some(fit) = pool.largest_fitting(m_idx, capacity) else {
+                self.rl.update_on_return(pool, m_idx, None, c);
+                failures += 1;
+                // The dispatched model still travelled down the link.
+                let secs = super::client_secs(env, c, 0, 0, entry.params, 0);
+                slowest = slowest.max(secs);
+                continue;
+            };
+            let fit_idx = fit.index;
+
+            let sub = extract_submodel(&self.global, &env.cfg.model, &fit.plan);
+            let mut net = env.cfg.model.build(&fit.plan, rng);
+            net.load_param_map(&sub);
+            let data = env.data.client(c);
+            let loss = env.cfg.local.train(&mut net, data, rng);
+            loss_acc += loss;
+            trained += 1;
+
+            let macs = cost_of(&env.cfg.model.full_blueprint(&fit.plan), env.cfg.model.input).macs;
+            let secs = super::client_secs(env, c, macs, data.len(), entry.params, fit.params);
+            slowest = slowest.max(secs);
+            returned += fit.params;
+
+            uploads.push(Upload { params: net.param_map(), weight: data.len() as f32 });
+            self.rl.update_on_return(pool, m_idx, Some(fit_idx), c);
+        }
+
+        // Step 6: heterogeneous aggregation.
+        aggregate(&mut self.global, &uploads);
+
+        RoundRecord {
+            round,
+            sent_params: sent,
+            returned_params: returned,
+            train_loss: if trained > 0 { loss_acc / trained as f32 } else { 0.0 },
+            sim_secs: slowest,
+            failures,
+        }
+    }
+
+    fn evaluate(&mut self, env: &Env, round: usize) -> EvalRecord {
+        let mut levels = Vec::new();
+        for rep in env.pool.level_representatives() {
+            let sub = extract_submodel(&self.global, &env.cfg.model, &rep.plan);
+            let mut net = env.cfg.model.build(&rep.plan, &mut env.eval_rng());
+            net.load_param_map(&sub);
+            levels.push((rep.name(), evaluate(&mut net, env.data.test(), env.cfg.eval_batch)));
+        }
+        // Full accuracy = the L_1 (global) model, which is the last rep.
+        let full = levels.last().map_or(0.0, |(_, a)| *a);
+        EvalRecord { round, full, levels }
+    }
+}

@@ -1,0 +1,70 @@
+//! All-Large: classic FedAvg on the full model with every selected
+//! client (McMahan et al.), the paper's non-resource-constrained
+//! reference.
+
+use adaptivefl_models::cost::cost_of;
+use adaptivefl_nn::layer::LayerExt;
+use adaptivefl_nn::ParamMap;
+use rand_chacha::ChaCha8Rng;
+
+use crate::aggregate::{aggregate, Upload};
+use crate::methods::{client_secs, sample_clients, FlMethod};
+use crate::metrics::{EvalRecord, RoundRecord};
+use crate::sim::Env;
+use crate::trainer::evaluate;
+
+/// FedAvg on `L_1` with uniformly sampled clients. Resource limits are
+/// deliberately ignored (the paper trains All-Large "with all clients
+/// under the classic FedAvg" as an upper reference in non-resource
+/// scenarios).
+pub struct AllLarge {
+    global: ParamMap,
+}
+
+impl AllLarge {
+    /// Initialises the global model.
+    pub fn new(env: &Env) -> Self {
+        AllLarge { global: env.fresh_global() }
+    }
+}
+
+impl FlMethod for AllLarge {
+    fn name(&self) -> String {
+        "All-Large".to_string()
+    }
+
+    fn round(&mut self, env: &Env, round: usize, rng: &mut ChaCha8Rng) -> RoundRecord {
+        let full = env.pool.largest();
+        let clients = sample_clients(env, round, env.cfg.clients_per_round, rng);
+        let mut uploads = Vec::with_capacity(clients.len());
+        let mut loss_acc = 0.0;
+        let mut slowest = 0.0f64;
+        let macs = cost_of(&env.cfg.model.full_blueprint(&full.plan), env.cfg.model.input).macs;
+
+        for &c in &clients {
+            let mut net = env.cfg.model.build(&full.plan, rng);
+            net.load_param_map(&self.global);
+            let data = env.data.client(c);
+            loss_acc += env.cfg.local.train(&mut net, data, rng);
+            slowest = slowest.max(client_secs(env, c, macs, data.len(), full.params, full.params));
+            uploads.push(Upload { params: net.param_map(), weight: data.len() as f32 });
+        }
+        aggregate(&mut self.global, &uploads);
+
+        RoundRecord {
+            round,
+            sent_params: full.params * clients.len() as u64,
+            returned_params: full.params * clients.len() as u64,
+            train_loss: if clients.is_empty() { 0.0 } else { loss_acc / clients.len() as f32 },
+            sim_secs: slowest,
+            failures: 0,
+        }
+    }
+
+    fn evaluate(&mut self, env: &Env, round: usize) -> EvalRecord {
+        let mut net = env.cfg.model.build(&env.pool.largest().plan, &mut env.eval_rng());
+        net.load_param_map(&self.global);
+        let full = evaluate(&mut net, env.data.test(), env.cfg.eval_batch);
+        EvalRecord { round, full, levels: Vec::new() }
+    }
+}

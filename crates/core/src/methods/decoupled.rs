@@ -1,0 +1,106 @@
+//! Decoupled: one independent FedAvg federation per level (S/M/L) with
+//! no cross-level parameter sharing — the paper's weakest baseline.
+
+use adaptivefl_models::cost::cost_of;
+use adaptivefl_models::WidthPlan;
+use adaptivefl_nn::layer::LayerExt;
+use adaptivefl_nn::ParamMap;
+use rand_chacha::ChaCha8Rng;
+
+use crate::aggregate::{aggregate, Upload};
+use crate::methods::{client_secs, sample_clients, FlMethod};
+use crate::metrics::{EvalRecord, RoundRecord};
+use crate::sim::Env;
+use crate::trainer::evaluate;
+
+/// Per-level global models (`S_1`, `M_1`, `L_1`), each trained only by
+/// the clients that can afford that level.
+pub struct Decoupled {
+    /// `(level name, plan, params, global weights)`, ascending by size.
+    levels: Vec<(String, WidthPlan, u64, ParamMap)>,
+}
+
+impl Decoupled {
+    /// Initialises one independent global model per level.
+    pub fn new(env: &Env) -> Self {
+        let levels = env
+            .pool
+            .level_representatives()
+            .into_iter()
+            .map(|rep| {
+                let mut rng = adaptivefl_tensor::rng::derived(env.cfg.seed, "decoupled-init");
+                let net = env.cfg.model.build(&rep.plan, &mut rng);
+                (rep.name(), rep.plan.clone(), rep.params, net.param_map())
+            })
+            .collect();
+        Decoupled { levels }
+    }
+}
+
+impl FlMethod for Decoupled {
+    fn name(&self) -> String {
+        "Decoupled".to_string()
+    }
+
+    fn round(&mut self, env: &Env, round: usize, rng: &mut ChaCha8Rng) -> RoundRecord {
+        let clients = sample_clients(env, round, env.cfg.clients_per_round, rng);
+        let mut per_level_uploads: Vec<Vec<Upload>> = vec![Vec::new(); self.levels.len()];
+        let mut sent = 0u64;
+        let mut returned = 0u64;
+        let mut loss_acc = 0.0;
+        let mut trained = 0usize;
+        let mut failures = 0usize;
+        let mut slowest = 0.0f64;
+
+        for &c in &clients {
+            let capacity = env.fleet.device(c).capacity_at(round);
+            // Largest level that fits the client right now.
+            let Some(li) = self
+                .levels
+                .iter()
+                .rposition(|(_, _, params, _)| *params <= capacity)
+            else {
+                failures += 1;
+                continue;
+            };
+            let (_, plan, params, global) = &self.levels[li];
+            sent += params;
+            let mut net = env.cfg.model.build(plan, rng);
+            net.load_param_map(global);
+            let data = env.data.client(c);
+            loss_acc += env.cfg.local.train(&mut net, data, rng);
+            trained += 1;
+            let macs = cost_of(&env.cfg.model.full_blueprint(plan), env.cfg.model.input).macs;
+            slowest = slowest.max(client_secs(env, c, macs, data.len(), *params, *params));
+            returned += params;
+            per_level_uploads[li].push(Upload {
+                params: net.param_map(),
+                weight: data.len() as f32,
+            });
+        }
+
+        for (li, uploads) in per_level_uploads.into_iter().enumerate() {
+            aggregate(&mut self.levels[li].3, &uploads);
+        }
+
+        RoundRecord {
+            round,
+            sent_params: sent,
+            returned_params: returned,
+            train_loss: if trained > 0 { loss_acc / trained as f32 } else { 0.0 },
+            sim_secs: slowest,
+            failures,
+        }
+    }
+
+    fn evaluate(&mut self, env: &Env, round: usize) -> EvalRecord {
+        let mut levels = Vec::new();
+        for (name, plan, _, global) in &self.levels {
+            let mut net = env.cfg.model.build(plan, &mut env.eval_rng());
+            net.load_param_map(global);
+            levels.push((name.clone(), evaluate(&mut net, env.data.test(), env.cfg.eval_batch)));
+        }
+        let full = levels.last().map_or(0.0, |(_, a)| *a);
+        EvalRecord { round, full, levels }
+    }
+}

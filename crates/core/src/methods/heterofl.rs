@@ -1,0 +1,125 @@
+//! HeteroFL (Diao et al., ICLR 2021): static *uniform* width pruning —
+//! every hidden layer scaled by the same ratio, submodel level fixed by
+//! the server's knowledge of each client's capability class.
+//!
+//! Two deliberate contrasts with AdaptiveFL, both from the papers:
+//! the pruning is coarse (no per-layer start index, shallow layers are
+//! pruned too), and there is no client-side adaptation — if a client's
+//! currently available resources cannot hold its statically assigned
+//! submodel, the round fails for that client.
+
+use adaptivefl_device::DeviceClass;
+use adaptivefl_models::cost::cost_of;
+use adaptivefl_models::{PruneSpec, WidthPlan};
+use adaptivefl_nn::layer::LayerExt;
+use adaptivefl_nn::ParamMap;
+use rand_chacha::ChaCha8Rng;
+
+use crate::aggregate::{aggregate, Upload};
+use crate::methods::{client_secs, sample_clients, FlMethod};
+use crate::metrics::{EvalRecord, RoundRecord};
+use crate::prune::extract_submodel;
+use crate::sim::Env;
+use crate::trainer::evaluate;
+
+/// Uniform width ratios per level: 1.0× / 0.5× / 0.25× model size,
+/// i.e. width ratios 1.0 / √0.5 / 0.5 (params scale ≈ quadratically in
+/// width).
+const WIDTH_RATIOS: [(&str, f32); 3] = [("S_1", 0.5), ("M_1", 0.707), ("L_1", 1.0)];
+
+/// HeteroFL server state.
+pub struct HeteroFl {
+    global: ParamMap,
+    /// `(name, plan, params)` ascending by size.
+    levels: Vec<(String, WidthPlan, u64)>,
+}
+
+impl HeteroFl {
+    /// Initialises the global model and the three static submodels.
+    pub fn new(env: &Env) -> Self {
+        let levels = WIDTH_RATIOS
+            .iter()
+            .map(|&(name, r)| {
+                let plan = if r >= 1.0 {
+                    env.cfg.model.full_plan()
+                } else {
+                    // start_unit = 0: prune every unit (uniform/coarse).
+                    env.cfg.model.plan(&PruneSpec::new(r, 0))
+                };
+                let params = env.cfg.model.num_params(&plan);
+                (name.to_string(), plan, params)
+            })
+            .collect();
+        HeteroFl { global: env.fresh_global(), levels }
+    }
+
+    fn level_for_class(&self, class: DeviceClass) -> usize {
+        match class {
+            DeviceClass::Weak => 0,
+            DeviceClass::Medium => 1,
+            DeviceClass::Strong => 2,
+        }
+    }
+}
+
+impl FlMethod for HeteroFl {
+    fn name(&self) -> String {
+        "HeteroFL".to_string()
+    }
+
+    fn round(&mut self, env: &Env, round: usize, rng: &mut ChaCha8Rng) -> RoundRecord {
+        let clients = sample_clients(env, round, env.cfg.clients_per_round, rng);
+        let mut uploads = Vec::new();
+        let mut sent = 0u64;
+        let mut returned = 0u64;
+        let mut loss_acc = 0.0;
+        let mut trained = 0usize;
+        let mut failures = 0usize;
+        let mut slowest = 0.0f64;
+
+        for &c in &clients {
+            let li = self.level_for_class(env.fleet.device(c).class());
+            let (_, plan, params) = &self.levels[li];
+            sent += params;
+            // No client-side adaptation: a resource dip below the
+            // assigned size fails the round for this client.
+            if env.fleet.device(c).capacity_at(round) < *params {
+                failures += 1;
+                slowest = slowest.max(client_secs(env, c, 0, 0, *params, 0));
+                continue;
+            }
+            let sub = extract_submodel(&self.global, &env.cfg.model, plan);
+            let mut net = env.cfg.model.build(plan, rng);
+            net.load_param_map(&sub);
+            let data = env.data.client(c);
+            loss_acc += env.cfg.local.train(&mut net, data, rng);
+            trained += 1;
+            let macs = cost_of(&env.cfg.model.full_blueprint(plan), env.cfg.model.input).macs;
+            slowest = slowest.max(client_secs(env, c, macs, data.len(), *params, *params));
+            returned += params;
+            uploads.push(Upload { params: net.param_map(), weight: data.len() as f32 });
+        }
+        aggregate(&mut self.global, &uploads);
+
+        RoundRecord {
+            round,
+            sent_params: sent,
+            returned_params: returned,
+            train_loss: if trained > 0 { loss_acc / trained as f32 } else { 0.0 },
+            sim_secs: slowest,
+            failures,
+        }
+    }
+
+    fn evaluate(&mut self, env: &Env, round: usize) -> EvalRecord {
+        let mut levels = Vec::new();
+        for (name, plan, _) in &self.levels {
+            let sub = extract_submodel(&self.global, &env.cfg.model, plan);
+            let mut net = env.cfg.model.build(plan, &mut env.eval_rng());
+            net.load_param_map(&sub);
+            levels.push((name.clone(), evaluate(&mut net, env.data.test(), env.cfg.eval_batch)));
+        }
+        let full = levels.last().map_or(0.0, |(_, a)| *a);
+        EvalRecord { round, full, levels }
+    }
+}

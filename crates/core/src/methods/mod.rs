@@ -1,0 +1,133 @@
+//! The FL methods under study: AdaptiveFL (with its selection-ablation
+//! variants) and the four baselines of the paper's §4.2 — All-Large,
+//! Decoupled, HeteroFL and ScaleFL.
+
+mod adaptive;
+mod all_large;
+mod decoupled;
+mod heterofl;
+mod scalefl;
+
+pub use adaptive::AdaptiveFl;
+pub use all_large::AllLarge;
+pub use decoupled::Decoupled;
+pub use heterofl::HeteroFl;
+pub use scalefl::ScaleFl;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{EvalRecord, RoundRecord};
+use crate::select::SelectionStrategy;
+use crate::sim::Env;
+
+/// A federated-learning method: owns its global model state and plays
+/// one round at a time against the shared environment.
+pub trait FlMethod: Send {
+    /// Display name used in tables and result files.
+    fn name(&self) -> String;
+
+    /// Executes one training round.
+    fn round(&mut self, env: &Env, round: usize, rng: &mut ChaCha8Rng) -> RoundRecord;
+
+    /// Evaluates the current global model(s) on the environment's test
+    /// set: global ("full") accuracy plus per-level submodel
+    /// accuracies.
+    fn evaluate(&mut self, env: &Env, round: usize) -> EvalRecord;
+}
+
+/// Method selector for the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MethodKind {
+    /// AdaptiveFL with the full RL selection (`+CS`).
+    AdaptiveFl,
+    /// AdaptiveFL with a selection-ablation strategy.
+    AdaptiveFlVariant(SelectionStrategy),
+    /// "AdaptiveFL+Greed": always dispatch the largest model.
+    AdaptiveFlGreedy,
+    /// FedAvg on the full model with every client (non-resource
+    /// reference).
+    AllLarge,
+    /// Per-level FedAvg without cross-level sharing.
+    Decoupled,
+    /// Static uniform width pruning (Diao et al.).
+    HeteroFl,
+    /// Two-dimensional width+depth pruning with early exits and
+    /// self-distillation (Ilhan et al.).
+    ScaleFl,
+}
+
+impl MethodKind {
+    /// Instantiates the method's state against an environment.
+    pub fn instantiate(self, env: &Env) -> Box<dyn FlMethod> {
+        match self {
+            MethodKind::AdaptiveFl => Box::new(AdaptiveFl::new(
+                env,
+                SelectionStrategy::CuriosityAndResource,
+                false,
+            )),
+            MethodKind::AdaptiveFlVariant(s) => Box::new(AdaptiveFl::new(env, s, false)),
+            MethodKind::AdaptiveFlGreedy => Box::new(AdaptiveFl::new(
+                env,
+                SelectionStrategy::Random,
+                true,
+            )),
+            MethodKind::AllLarge => Box::new(AllLarge::new(env)),
+            MethodKind::Decoupled => Box::new(Decoupled::new(env)),
+            MethodKind::HeteroFl => Box::new(HeteroFl::new(env)),
+            MethodKind::ScaleFl => Box::new(ScaleFl::new(env)),
+        }
+    }
+
+    /// All methods compared in the paper's Table 2.
+    pub fn table2_lineup() -> [MethodKind; 5] {
+        [
+            MethodKind::AllLarge,
+            MethodKind::Decoupled,
+            MethodKind::HeteroFl,
+            MethodKind::ScaleFl,
+            MethodKind::AdaptiveFl,
+        ]
+    }
+}
+
+impl std::fmt::Display for MethodKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MethodKind::AdaptiveFl => write!(f, "AdaptiveFL"),
+            MethodKind::AdaptiveFlVariant(s) => write!(f, "AdaptiveFL+{s}"),
+            MethodKind::AdaptiveFlGreedy => write!(f, "AdaptiveFL+Greed"),
+            MethodKind::AllLarge => write!(f, "All-Large"),
+            MethodKind::Decoupled => write!(f, "Decoupled"),
+            MethodKind::HeteroFl => write!(f, "HeteroFL"),
+            MethodKind::ScaleFl => write!(f, "ScaleFL"),
+        }
+    }
+}
+
+/// Samples `k` distinct clients uniformly among those holding data and
+/// currently online.
+pub(crate) fn sample_clients(env: &Env, round: usize, k: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let mut eligible = env.eligible_clients(round);
+    eligible.shuffle(rng);
+    eligible.truncate(k);
+    eligible
+}
+
+/// Simulated wall-clock seconds for a client's round: local training
+/// over `macs_per_sample` for `samples · epochs` samples plus the
+/// down/up transfer of `down`/`up` parameter elements as f32.
+pub(crate) fn client_secs(
+    env: &Env,
+    client: usize,
+    macs_per_sample: u64,
+    samples: usize,
+    down_params: u64,
+    up_params: u64,
+) -> f64 {
+    let device = env.fleet.device(client);
+    let total_macs = macs_per_sample * samples as u64 * env.cfg.local.epochs as u64;
+    device.round_time(total_macs, down_params * 4, up_params * 4)
+}

@@ -1,0 +1,167 @@
+//! ScaleFL (Ilhan et al., CVPR 2023): two-dimensional width+depth
+//! scaling with early-exit classifiers and self-distillation during
+//! local training.
+//!
+//! The global model is the full-depth network with every exit head
+//! instantiated; level submodels truncate depth (keeping the exit at
+//! their last segment) and scale width uniformly. Like HeteroFL, the
+//! level assignment is static per capability class and there is no
+//! client-side adaptation.
+
+use adaptivefl_device::DeviceClass;
+use adaptivefl_models::cost::cost_of;
+use adaptivefl_models::{Network, PruneSpec, WidthPlan};
+use adaptivefl_nn::layer::LayerExt;
+use adaptivefl_nn::{ParamKind, ParamMap};
+use rand_chacha::ChaCha8Rng;
+
+use crate::aggregate::{aggregate, Upload};
+use crate::methods::{client_secs, sample_clients, FlMethod};
+use crate::metrics::{EvalRecord, RoundRecord};
+use crate::prune::extract_by_shapes;
+use crate::sim::Env;
+use crate::trainer::evaluate;
+
+/// Distillation weight of the early exits toward the final exit.
+const KD_WEIGHT: f32 = 0.5;
+/// Distillation temperature.
+const KD_TEMPERATURE: f32 = 2.0;
+
+/// One ScaleFL level: uniform width ratio + kept depth.
+struct LevelCfg {
+    name: String,
+    plan: WidthPlan,
+    depth: usize,
+    params: u64,
+    shapes: Vec<(String, Vec<usize>, ParamKind)>,
+    macs: u64,
+}
+
+/// ScaleFL server state.
+pub struct ScaleFl {
+    global: ParamMap,
+    levels: Vec<LevelCfg>,
+    max_depth: usize,
+}
+
+impl ScaleFl {
+    /// Initialises the multi-exit global model and the three level
+    /// configurations (width × depth chosen to land near the paper's
+    /// 0.25× / 0.5× / 1.0× model-size levels).
+    pub fn new(env: &Env) -> Self {
+        let cfg = &env.cfg.model;
+        let d = cfg.max_depth();
+        let combos: [(&str, f32, usize); 3] = [
+            ("S_1", 0.60, d.div_ceil(2)),
+            ("M_1", 0.80, (3 * d).div_ceil(4)),
+            ("L_1", 1.0, d),
+        ];
+        let levels: Vec<LevelCfg> = combos
+            .iter()
+            .map(|&(name, r, depth)| {
+                let plan = if r >= 1.0 {
+                    cfg.full_plan()
+                } else {
+                    cfg.plan(&PruneSpec::new(r, 0))
+                };
+                let bp = cfg.blueprint(&plan, depth, true);
+                let shapes = bp.shapes();
+                let params = bp.num_params() as u64;
+                let macs = cost_of(&bp, cfg.input).macs;
+                LevelCfg { name: name.to_string(), plan, depth, params, shapes, macs }
+            })
+            .collect();
+
+        // Global = full width, full depth, all exits.
+        let bp = cfg.blueprint(&cfg.full_plan(), d, true);
+        let mut rng = adaptivefl_tensor::rng::derived(env.cfg.seed, "scalefl-init");
+        let global = Network::build(&bp, &mut rng).param_map();
+        ScaleFl { global, levels, max_depth: d }
+    }
+
+    fn level_for_class(&self, class: DeviceClass) -> usize {
+        match class {
+            DeviceClass::Weak => 0,
+            DeviceClass::Medium => 1,
+            DeviceClass::Strong => 2,
+        }
+    }
+}
+
+impl FlMethod for ScaleFl {
+    fn name(&self) -> String {
+        "ScaleFL".to_string()
+    }
+
+    fn round(&mut self, env: &Env, round: usize, rng: &mut ChaCha8Rng) -> RoundRecord {
+        let clients = sample_clients(env, round, env.cfg.clients_per_round, rng);
+        let mut uploads = Vec::new();
+        let mut sent = 0u64;
+        let mut returned = 0u64;
+        let mut loss_acc = 0.0;
+        let mut trained = 0usize;
+        let mut failures = 0usize;
+        let mut slowest = 0.0f64;
+
+        for &c in &clients {
+            let li = self.level_for_class(env.fleet.device(c).class());
+            let level = &self.levels[li];
+            sent += level.params;
+            if env.fleet.device(c).capacity_at(round) < level.params {
+                failures += 1;
+                slowest = slowest.max(client_secs(env, c, 0, 0, level.params, 0));
+                continue;
+            }
+            let sub = extract_by_shapes(&self.global, &level.shapes);
+            let bp = env.cfg.model.blueprint(&level.plan, level.depth, true);
+            let mut net = Network::build(&bp, rng);
+            net.load_param_map(&sub);
+            let data = env.data.client(c);
+            loss_acc +=
+                env.cfg
+                    .local
+                    .train_multi_exit(&mut net, data, KD_WEIGHT, KD_TEMPERATURE, rng);
+            trained += 1;
+            slowest =
+                slowest.max(client_secs(env, c, level.macs, data.len(), level.params, level.params));
+            returned += level.params;
+            uploads.push(Upload { params: net.param_map(), weight: data.len() as f32 });
+        }
+        aggregate(&mut self.global, &uploads);
+
+        RoundRecord {
+            round,
+            sent_params: sent,
+            returned_params: returned,
+            train_loss: if trained > 0 { loss_acc / trained as f32 } else { 0.0 },
+            sim_secs: slowest,
+            failures,
+        }
+    }
+
+    fn evaluate(&mut self, env: &Env, round: usize) -> EvalRecord {
+        let mut levels = Vec::new();
+        for level in &self.levels {
+            // Evaluate each level submodel at its own final exit (no
+            // aux heads needed for inference).
+            let bp = env.cfg.model.blueprint(&level.plan, level.depth, true);
+            let sub = extract_by_shapes(&self.global, &level.shapes);
+            let mut net = Network::build(&bp, &mut env.eval_rng());
+            net.load_param_map(&sub);
+            levels.push((
+                level.name.clone(),
+                evaluate(&mut net, env.data.test(), env.cfg.eval_batch),
+            ));
+        }
+        // Full accuracy: the complete multi-exit model at the deepest
+        // exit.
+        let bp = env
+            .cfg
+            .model
+            .blueprint(&env.cfg.model.full_plan(), self.max_depth, true);
+        let mut net = Network::build(&bp, &mut env.eval_rng());
+        net.load_param_map(&self.global);
+        let full = evaluate(&mut net, env.data.test(), env.cfg.eval_batch);
+        EvalRecord { round, full, levels }
+    }
+}

@@ -1,0 +1,190 @@
+//! Experiment metrics: per-round communication accounting, accuracy
+//! history, communication-waste rate and simulated wall-clock time.
+
+use serde::{Deserialize, Serialize};
+
+/// One round's bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Parameter elements dispatched to clients this round
+    /// (`Σ size(ML_send)`).
+    pub sent_params: u64,
+    /// Parameter elements uploaded back (`Σ size(ML_back)`).
+    pub returned_params: u64,
+    /// Mean local training loss over participating clients.
+    pub train_loss: f32,
+    /// Simulated wall-clock duration of the round (slowest client),
+    /// seconds.
+    pub sim_secs: f64,
+    /// Number of clients that failed to train anything this round.
+    pub failures: usize,
+}
+
+/// One evaluation snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalRecord {
+    /// Round index the snapshot was taken after.
+    pub round: usize,
+    /// Global (full) model accuracy.
+    pub full: f32,
+    /// Per-level submodel accuracies `(level name, accuracy)` —
+    /// `S_1`, `M_1`, `L_1` for width-pruned methods.
+    pub levels: Vec<(String, f32)>,
+}
+
+impl EvalRecord {
+    /// Mean of the per-level accuracies (the paper's "avg" column);
+    /// falls back to the full accuracy when no submodels exist
+    /// (All-Large).
+    pub fn avg(&self) -> f32 {
+        if self.levels.is_empty() {
+            self.full
+        } else {
+            self.levels.iter().map(|(_, a)| a).sum::<f32>() / self.levels.len() as f32
+        }
+    }
+}
+
+/// Complete result of one simulated FL run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Method display name (e.g. `"AdaptiveFL"`, `"HeteroFL"`).
+    pub method: String,
+    /// Per-round records.
+    pub rounds: Vec<RoundRecord>,
+    /// Evaluation snapshots (every `eval_every` rounds and final).
+    pub evals: Vec<EvalRecord>,
+}
+
+impl RunResult {
+    /// Final global-model accuracy (0 when never evaluated).
+    pub fn final_full_accuracy(&self) -> f32 {
+        self.evals.last().map_or(0.0, |e| e.full)
+    }
+
+    /// Final "avg" accuracy (mean over level submodels).
+    pub fn final_avg_accuracy(&self) -> f32 {
+        self.evals.last().map_or(0.0, EvalRecord::avg)
+    }
+
+    /// Best (max over snapshots) full accuracy — robust to late-round
+    /// noise, like the paper's reported numbers.
+    pub fn best_full_accuracy(&self) -> f32 {
+        self.evals.iter().map(|e| e.full).fold(0.0, f32::max)
+    }
+
+    /// Best "avg" accuracy over snapshots.
+    pub fn best_avg_accuracy(&self) -> f32 {
+        self.evals.iter().map(EvalRecord::avg).fold(0.0, f32::max)
+    }
+
+    /// Communication-waste rate (paper §4.4):
+    /// `1 − Σ size(ML_back) / Σ size(ML_send)`; 0 when nothing was
+    /// sent.
+    pub fn comm_waste_rate(&self) -> f64 {
+        let sent: u64 = self.rounds.iter().map(|r| r.sent_params).sum();
+        let back: u64 = self.rounds.iter().map(|r| r.returned_params).sum();
+        if sent == 0 {
+            0.0
+        } else {
+            1.0 - back as f64 / sent as f64
+        }
+    }
+
+    /// Total simulated wall-clock seconds.
+    pub fn total_sim_secs(&self) -> f64 {
+        self.rounds.iter().map(|r| r.sim_secs).sum()
+    }
+
+    /// Accuracy-vs-round learning curve `(round, full, avg)`.
+    pub fn curve(&self) -> Vec<(usize, f32, f32)> {
+        self.evals.iter().map(|e| (e.round, e.full, e.avg())).collect()
+    }
+
+    /// Accuracy-vs-simulated-time curve `(secs, full)` for test-bed
+    /// style plots (Figure 6).
+    pub fn time_curve(&self) -> Vec<(f64, f32)> {
+        let mut out = Vec::with_capacity(self.evals.len());
+        for e in &self.evals {
+            let t: f64 = self
+                .rounds
+                .iter()
+                .take_while(|r| r.round <= e.round)
+                .map(|r| r.sim_secs)
+                .sum();
+            out.push((t, e.full));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> RunResult {
+        RunResult {
+            method: "test".into(),
+            rounds: vec![
+                RoundRecord {
+                    round: 0,
+                    sent_params: 100,
+                    returned_params: 80,
+                    train_loss: 1.0,
+                    sim_secs: 2.0,
+                    failures: 0,
+                },
+                RoundRecord {
+                    round: 1,
+                    sent_params: 100,
+                    returned_params: 60,
+                    train_loss: 0.5,
+                    sim_secs: 3.0,
+                    failures: 1,
+                },
+            ],
+            evals: vec![
+                EvalRecord { round: 0, full: 0.4, levels: vec![("S_1".into(), 0.3), ("L_1".into(), 0.5)] },
+                EvalRecord { round: 1, full: 0.6, levels: vec![("S_1".into(), 0.5), ("L_1".into(), 0.7)] },
+            ],
+        }
+    }
+
+    #[test]
+    fn comm_waste_is_one_minus_ratio() {
+        let r = result();
+        assert!((r.comm_waste_rate() - (1.0 - 140.0 / 200.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_accuracy_means_levels() {
+        let r = result();
+        assert!((r.final_avg_accuracy() - 0.6).abs() < 1e-6);
+        assert_eq!(r.final_full_accuracy(), 0.6);
+        assert_eq!(r.best_full_accuracy(), 0.6);
+    }
+
+    #[test]
+    fn avg_falls_back_to_full_without_levels() {
+        let e = EvalRecord { round: 0, full: 0.42, levels: vec![] };
+        assert_eq!(e.avg(), 0.42);
+    }
+
+    #[test]
+    fn time_curve_accumulates() {
+        let r = result();
+        let tc = r.time_curve();
+        assert_eq!(tc.len(), 2);
+        assert!((tc[0].0 - 2.0).abs() < 1e-9);
+        assert!((tc[1].0 - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_result_defaults() {
+        let r = RunResult { method: "x".into(), rounds: vec![], evals: vec![] };
+        assert_eq!(r.final_full_accuracy(), 0.0);
+        assert_eq!(r.comm_waste_rate(), 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Nested parameter extraction — the width-wise pruning
+//! `W^k_{r_w} = W^k_g[:d_k·r_w][:n_k·r_w]` of paper §3.2, applied map-wide.
+
+use adaptivefl_models::{ModelConfig, WidthPlan};
+use adaptivefl_nn::{ParamKind, ParamMap};
+use adaptivefl_tensor::SliceSpec;
+
+/// Extracts the submodel parameters for `plan` from a full global
+/// parameter map by prefix-slicing every named tensor to the plan's
+/// shape table.
+///
+/// # Panics
+///
+/// Panics if the global map is missing a parameter or a plan shape does
+/// not fit inside the global shape (i.e. the plan is not nested).
+pub fn extract_submodel(global: &ParamMap, cfg: &ModelConfig, plan: &WidthPlan) -> ParamMap {
+    extract_by_shapes(global, &cfg.shapes(plan))
+}
+
+/// Extracts parameters by an explicit shape table (used for ScaleFL's
+/// depth-scaled multi-exit submodels).
+///
+/// # Panics
+///
+/// See [`extract_submodel`].
+pub fn extract_by_shapes(
+    global: &ParamMap,
+    shapes: &[(String, Vec<usize>, ParamKind)],
+) -> ParamMap {
+    let mut out = ParamMap::new();
+    for (name, shape, _) in shapes {
+        let full = global
+            .get(name)
+            .unwrap_or_else(|| panic!("global model missing parameter {name}"));
+        let spec = SliceSpec::new(shape.clone());
+        assert!(
+            spec.fits_in(full.shape()),
+            "plan shape {shape:?} does not nest in global {:?} for {name}",
+            full.shape()
+        );
+        out.insert(name.clone(), spec.extract(full));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{ModelPool, DEFAULT_RATIOS};
+    use adaptivefl_models::ModelConfig;
+    use adaptivefl_nn::layer::LayerExt;
+    use adaptivefl_tensor::rng;
+
+    #[test]
+    fn extracted_size_matches_pool_entry() {
+        let cfg = ModelConfig::tiny(10);
+        let pool = ModelPool::split(&cfg, 3, DEFAULT_RATIOS);
+        let mut r = rng::seeded(50);
+        let global = cfg.build(&cfg.full_plan(), &mut r).param_map();
+        for e in pool.entries() {
+            let sub = extract_submodel(&global, &cfg, &e.plan);
+            assert_eq!(sub.numel() as u64, e.params, "{}", e.name());
+        }
+    }
+
+    #[test]
+    fn extraction_is_prefix_consistent() {
+        // The S model's weights must be the leading block of the L
+        // model's weights.
+        let cfg = ModelConfig::tiny(10);
+        let pool = ModelPool::split(&cfg, 3, DEFAULT_RATIOS);
+        let mut r = rng::seeded(51);
+        let global = cfg.build(&cfg.full_plan(), &mut r).param_map();
+        let small = extract_submodel(&global, &cfg, &pool.entry(0).plan);
+        for (name, t) in small.iter() {
+            let full = global.get(name).expect("name exists");
+            let spec = SliceSpec::new(t.shape().to_vec());
+            assert_eq!(&spec.extract(full), t, "{name}");
+        }
+    }
+
+    #[test]
+    fn extracted_submodel_loads_into_network() {
+        let cfg = ModelConfig::tiny(10);
+        let pool = ModelPool::split(&cfg, 2, DEFAULT_RATIOS);
+        let mut r = rng::seeded(52);
+        let global = cfg.build(&cfg.full_plan(), &mut r).param_map();
+        let e = pool.entry(1);
+        let sub = extract_submodel(&global, &cfg, &e.plan);
+        let mut net = cfg.build(&e.plan, &mut r);
+        net.load_param_map(&sub); // panics on any shape mismatch
+        assert_eq!(net.param_map(), sub);
+    }
+
+    #[test]
+    fn every_pool_entry_extracts_for_every_family() {
+        // Regression test: residual families must never produce a pool
+        // entry whose boundary block introduces parameters (projection
+        // shortcuts) absent from the full global model.
+        for cfg in [
+            ModelConfig::vgg16_fast(10),
+            ModelConfig::resnet18_fast(10),
+            ModelConfig::mobilenet_v2_fast(10),
+            ModelConfig::tiny(10),
+        ] {
+            let pool = ModelPool::split(&cfg, 3, DEFAULT_RATIOS);
+            let mut r = rng::seeded(53);
+            let global = cfg.build(&cfg.full_plan(), &mut r).param_map();
+            for e in pool.entries() {
+                let sub = extract_submodel(&global, &cfg, &e.plan);
+                assert_eq!(sub.numel() as u64, e.params, "{:?} {}", cfg.kind, e.name());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "missing parameter")]
+    fn missing_param_panics() {
+        let cfg = ModelConfig::tiny(10);
+        let global = ParamMap::new();
+        extract_submodel(&global, &cfg, &cfg.full_plan());
+    }
+}

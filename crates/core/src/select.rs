@@ -1,0 +1,205 @@
+//! Client-selection strategies: the RL policy of §3.3 and the ablation
+//! variants of §4.4 (+Greed, +Random, +C, +S, +CS).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::pool::ModelPool;
+use crate::rl::RlState;
+
+/// Which reward terms drive selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectionStrategy {
+    /// Uniform random client per model ("AdaptiveFL+Random").
+    Random,
+    /// Curiosity reward only ("AdaptiveFL+C").
+    CuriosityOnly,
+    /// Resource reward only ("AdaptiveFL+S").
+    ResourceOnly,
+    /// Full reward `min(0.5, R_s)·R_c` ("AdaptiveFL+CS", the default).
+    CuriosityAndResource,
+}
+
+impl std::fmt::Display for SelectionStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SelectionStrategy::Random => "Random",
+            SelectionStrategy::CuriosityOnly => "C",
+            SelectionStrategy::ResourceOnly => "S",
+            SelectionStrategy::CuriosityAndResource => "CS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-client selection weight under a strategy.
+fn weight(
+    strategy: SelectionStrategy,
+    rl: &RlState,
+    pool: &ModelPool,
+    pool_index: usize,
+    client: usize,
+) -> f64 {
+    let level = pool.entry(pool_index).level;
+    match strategy {
+        SelectionStrategy::Random => 1.0,
+        SelectionStrategy::CuriosityOnly => rl.curiosity_reward(level, client),
+        SelectionStrategy::ResourceOnly => rl.resource_reward(pool, pool_index, client).min(0.5),
+        SelectionStrategy::CuriosityAndResource => rl.reward(pool, pool_index, client),
+    }
+}
+
+/// Selects a client for the model at `pool_index` among `eligible`
+/// clients, sampling proportionally to the strategy's reward
+/// (`P(m_i, c) = R(m_i, c) / Σ_j R(m_i, j)`); clients with zero reward
+/// are never selected unless every eligible client has zero reward, in
+/// which case selection falls back to uniform.
+///
+/// Returns `None` when `eligible` is empty.
+pub fn select_client(
+    strategy: SelectionStrategy,
+    rl: &RlState,
+    pool: &ModelPool,
+    pool_index: usize,
+    eligible: &[usize],
+    rng: &mut impl Rng,
+) -> Option<usize> {
+    if eligible.is_empty() {
+        return None;
+    }
+    let weights: Vec<f64> = eligible
+        .iter()
+        .map(|&c| weight(strategy, rl, pool, pool_index, c).max(0.0))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        // All rewards zero: uniform fallback.
+        return Some(eligible[rng.gen_range(0..eligible.len())]);
+    }
+    let mut draw = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        draw -= w;
+        if draw <= 0.0 {
+            return Some(eligible[i]);
+        }
+    }
+    Some(*eligible.last().expect("non-empty"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::DEFAULT_RATIOS;
+    use adaptivefl_models::ModelConfig;
+    use adaptivefl_tensor::rng;
+
+    fn setup() -> (ModelPool, RlState) {
+        let pool = ModelPool::split(&ModelConfig::tiny(10), 3, DEFAULT_RATIOS);
+        let rl = RlState::new(pool.p(), 4);
+        (pool, rl)
+    }
+
+    #[test]
+    fn empty_eligible_returns_none() {
+        let (pool, rl) = setup();
+        let mut r = rng::seeded(60);
+        assert!(select_client(
+            SelectionStrategy::CuriosityAndResource,
+            &rl,
+            &pool,
+            0,
+            &[],
+            &mut r
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn selection_respects_eligibility() {
+        let (pool, rl) = setup();
+        let mut r = rng::seeded(61);
+        for _ in 0..50 {
+            let c = select_client(
+                SelectionStrategy::Random,
+                &rl,
+                &pool,
+                0,
+                &[1, 3],
+                &mut r,
+            )
+            .expect("eligible non-empty");
+            assert!(c == 1 || c == 3);
+        }
+    }
+
+    #[test]
+    fn strong_clients_attract_large_models() {
+        let (pool, mut rl) = setup();
+        let l1 = pool.len() - 1;
+        // Client 0 succeeds on L_1 repeatedly; client 1 always prunes
+        // down to the smallest model.
+        for _ in 0..10 {
+            rl.update_on_return(&pool, l1, Some(l1), 0);
+            rl.update_on_return(&pool, l1, Some(0), 1);
+        }
+        let mut r = rng::seeded(62);
+        let mut count0 = 0;
+        for _ in 0..200 {
+            if select_client(
+                SelectionStrategy::ResourceOnly,
+                &rl,
+                &pool,
+                l1,
+                &[0, 1],
+                &mut r,
+            ) == Some(0)
+            {
+                count0 += 1;
+            }
+        }
+        assert!(count0 > 150, "strong client selected only {count0}/200");
+    }
+
+    #[test]
+    fn curiosity_balances_selection_counts() {
+        let (pool, mut rl) = setup();
+        // Client 0 has been selected for Small models many times.
+        for _ in 0..20 {
+            rl.update_on_dispatch(crate::pool::Level::Small, 0);
+        }
+        let mut r = rng::seeded(63);
+        let mut count1 = 0;
+        for _ in 0..200 {
+            if select_client(
+                SelectionStrategy::CuriosityOnly,
+                &rl,
+                &pool,
+                0,
+                &[0, 1],
+                &mut r,
+            ) == Some(1)
+            {
+                count1 += 1;
+            }
+        }
+        assert!(count1 > 140, "under-selected client picked only {count1}/200");
+    }
+
+    #[test]
+    fn zero_reward_falls_back_to_uniform() {
+        let (pool, mut rl) = setup();
+        // Zero out every score for both clients via total failures.
+        rl.update_on_return(&pool, 0, None, 0);
+        rl.update_on_return(&pool, 0, None, 1);
+        let mut r = rng::seeded(64);
+        let c = select_client(
+            SelectionStrategy::ResourceOnly,
+            &rl,
+            &pool,
+            3,
+            &[0, 1],
+            &mut r,
+        );
+        assert!(c.is_some());
+    }
+}

@@ -1,0 +1,310 @@
+//! The experiment simulator: environment assembly and the round loop.
+
+use adaptivefl_data::{FederatedDataset, Partition, SynthSpec};
+use adaptivefl_device::{DeviceFleet, ResourceDynamics};
+use adaptivefl_models::ModelConfig;
+use adaptivefl_nn::layer::LayerExt;
+use adaptivefl_nn::ParamMap;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::methods::MethodKind;
+use crate::metrics::RunResult;
+use crate::pool::{ModelPool, DEFAULT_RATIOS};
+use crate::trainer::LocalTrainer;
+
+/// Everything that defines one experiment (except the dataset spec and
+/// partition, which are passed to [`Simulation::prepare`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Model family/size.
+    pub model: ModelConfig,
+    /// Federated rounds `T`.
+    pub rounds: usize,
+    /// Clients selected per round `K` (the paper uses 10 %).
+    pub clients_per_round: usize,
+    /// Local training hyper-parameters.
+    pub local: LocalTrainer,
+    /// Evaluate every this many rounds (the final round is always
+    /// evaluated).
+    pub eval_every: usize,
+    /// Evaluation batch size.
+    pub eval_batch: usize,
+    /// Submodels per level (`p`; 1 = coarse-grained ablation).
+    pub p: usize,
+    /// Width ratios of the S and M levels.
+    pub ratios: (f32, f32),
+    /// Weak:medium:strong device proportion (paper default 4:3:3).
+    pub proportions: (usize, usize, usize),
+    /// Resource fluctuation model.
+    pub dynamics: ResourceDynamics,
+    /// Total clients in the federation.
+    pub num_clients: usize,
+    /// Training samples per client.
+    pub samples_per_client: usize,
+    /// Held-out test samples.
+    pub test_samples: usize,
+    /// Master seed; every random stream derives from it.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A reduced-scale configuration that mirrors the paper's protocol
+    /// (100 clients, 10 % participation, uncertain resources, 4:3:3
+    /// classes) at CPU-friendly cost.
+    pub fn fast(model: ModelConfig, seed: u64) -> Self {
+        SimConfig {
+            model,
+            rounds: 30,
+            clients_per_round: 10,
+            local: LocalTrainer::fast(),
+            eval_every: 5,
+            eval_batch: 64,
+            p: 3,
+            ratios: DEFAULT_RATIOS,
+            proportions: (4, 3, 3),
+            dynamics: ResourceDynamics::uncertain(),
+            num_clients: 100,
+            samples_per_client: 30,
+            test_samples: 400,
+            seed,
+        }
+    }
+
+    /// A minimal configuration for unit/integration tests (seconds, not
+    /// minutes).
+    pub fn quick_test(seed: u64) -> Self {
+        SimConfig {
+            model: ModelConfig {
+                kind: adaptivefl_models::ModelKind::TinyCnn,
+                input: (3, 8, 8),
+                classes: 4,
+                width_mult: 1.0,
+            },
+            rounds: 4,
+            clients_per_round: 4,
+            local: LocalTrainer { lr: 0.05, momentum: 0.5, epochs: 1, batch_size: 8, prox_mu: 0.0 },
+            eval_every: 2,
+            eval_batch: 32,
+            p: 2,
+            ratios: DEFAULT_RATIOS,
+            proportions: (4, 3, 3),
+            dynamics: ResourceDynamics::uncertain(),
+            num_clients: 10,
+            samples_per_client: 12,
+            test_samples: 60,
+            seed,
+        }
+    }
+}
+
+/// The shared, read-only experiment environment: data, devices, model
+/// pool.
+pub struct Env {
+    /// The experiment configuration.
+    pub cfg: SimConfig,
+    /// Per-client shards + test set.
+    pub data: FederatedDataset,
+    /// Simulated devices (index-aligned with data clients).
+    pub fleet: DeviceFleet,
+    /// The `2p+1`-entry model pool.
+    pub pool: ModelPool,
+}
+
+impl Env {
+    /// A freshly initialised full global model (deterministic per
+    /// seed).
+    pub fn fresh_global(&self) -> ParamMap {
+        let mut rng = adaptivefl_tensor::rng::derived(self.cfg.seed, "global-init");
+        self.cfg
+            .model
+            .build(&self.cfg.model.full_plan(), &mut rng)
+            .param_map()
+    }
+
+    /// RNG for evaluation-time network scaffolding (weights are always
+    /// overwritten by a load, so the stream only needs to be cheap and
+    /// deterministic).
+    pub fn eval_rng(&self) -> ChaCha8Rng {
+        adaptivefl_tensor::rng::derived(self.cfg.seed, "eval-scaffold")
+    }
+
+    /// Clients that can participate in `round`: they hold data and
+    /// their device is currently reachable.
+    pub fn eligible_clients(&self, round: usize) -> Vec<usize> {
+        (0..self.data.num_clients())
+            .filter(|&c| !self.data.client(c).is_empty() && self.fleet.device(c).available_at(round))
+            .collect()
+    }
+}
+
+/// One prepared experiment: an [`Env`] ready to run any method.
+pub struct Simulation {
+    env: Env,
+}
+
+impl Simulation {
+    /// Synthesises the dataset and device fleet for a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's class count or input shape disagrees with
+    /// the dataset spec.
+    pub fn prepare(cfg: &SimConfig, spec: &SynthSpec, partition: Partition) -> Self {
+        assert_eq!(
+            cfg.model.classes, spec.classes,
+            "model classes must match dataset classes"
+        );
+        assert_eq!(
+            cfg.model.input, spec.input,
+            "model input shape must match dataset input shape"
+        );
+        let data = FederatedDataset::synthesize(
+            spec,
+            cfg.num_clients,
+            cfg.samples_per_client,
+            cfg.test_samples,
+            partition,
+            cfg.seed,
+        );
+        let full_params = cfg.model.num_params(&cfg.model.full_plan());
+        let fleet = DeviceFleet::with_proportions(
+            cfg.num_clients,
+            cfg.proportions,
+            full_params,
+            cfg.dynamics,
+            cfg.seed,
+        );
+        let pool = ModelPool::split(&cfg.model, cfg.p, cfg.ratios);
+        Simulation { env: Env { cfg: *cfg, data, fleet, pool } }
+    }
+
+    /// The environment (shared across methods for fair comparison).
+    pub fn env(&self) -> &Env {
+        &self.env
+    }
+
+    /// Replaces the auto-generated fleet with an explicit one (e.g. the
+    /// paper's real test-bed of `adaptivefl_device::testbed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet size differs from the number of clients.
+    pub fn with_fleet(mut self, fleet: DeviceFleet) -> Self {
+        assert_eq!(
+            fleet.len(),
+            self.env.data.num_clients(),
+            "fleet must have one device per client"
+        );
+        self.env.fleet = fleet;
+        self
+    }
+
+    /// Runs one method for `cfg.rounds` rounds, evaluating every
+    /// `cfg.eval_every` rounds and after the final round.
+    pub fn run(&mut self, kind: MethodKind) -> RunResult {
+        let method = kind.instantiate(&self.env);
+        self.run_method(method)
+    }
+
+    /// Runs an explicitly constructed method (e.g. an AdaptiveFL
+    /// instance with non-default RL settings for ablations).
+    pub fn run_method(&mut self, mut method: Box<dyn crate::methods::FlMethod>) -> RunResult {
+        let mut rng = adaptivefl_tensor::rng::derived(
+            self.env.cfg.seed,
+            &format!("run-{}", method.name()),
+        );
+        let mut rounds = Vec::with_capacity(self.env.cfg.rounds);
+        let mut evals = Vec::new();
+        for t in 0..self.env.cfg.rounds {
+            rounds.push(method.round(&self.env, t, &mut rng));
+            let last = t + 1 == self.env.cfg.rounds;
+            if last || (t + 1) % self.env.cfg.eval_every.max(1) == 0 {
+                evals.push(method.evaluate(&self.env, t));
+            }
+        }
+        RunResult { method: method.name(), rounds, evals }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::MethodKind;
+    use crate::select::SelectionStrategy;
+
+    fn spec() -> SynthSpec {
+        let mut s = SynthSpec::test_spec(4);
+        s.input = (3, 8, 8);
+        s
+    }
+
+    #[test]
+    fn adaptivefl_quick_run_learns_something() {
+        let cfg = SimConfig::quick_test(100);
+        let mut sim = Simulation::prepare(&cfg, &spec(), Partition::Iid);
+        let res = sim.run(MethodKind::AdaptiveFl);
+        assert_eq!(res.rounds.len(), 4);
+        assert!(!res.evals.is_empty());
+        // 4 classes → chance 0.25; even a tiny run should beat it.
+        assert!(
+            res.final_full_accuracy() > 0.3,
+            "accuracy {}",
+            res.final_full_accuracy()
+        );
+        // Communication waste must be in [0, 1).
+        let w = res.comm_waste_rate();
+        assert!((0.0..1.0).contains(&w), "waste {w}");
+    }
+
+    #[test]
+    fn all_methods_run_one_round() {
+        let mut cfg = SimConfig::quick_test(101);
+        cfg.rounds = 1;
+        cfg.eval_every = 1;
+        for kind in [
+            MethodKind::AdaptiveFl,
+            MethodKind::AdaptiveFlGreedy,
+            MethodKind::AdaptiveFlVariant(SelectionStrategy::Random),
+            MethodKind::AdaptiveFlVariant(SelectionStrategy::CuriosityOnly),
+            MethodKind::AdaptiveFlVariant(SelectionStrategy::ResourceOnly),
+            MethodKind::AllLarge,
+            MethodKind::Decoupled,
+            MethodKind::HeteroFl,
+            MethodKind::ScaleFl,
+        ] {
+            let mut sim = Simulation::prepare(&cfg, &spec(), Partition::Dirichlet(0.6));
+            let res = sim.run(kind);
+            assert_eq!(res.rounds.len(), 1, "{kind}");
+            assert_eq!(res.evals.len(), 1, "{kind}");
+            assert!(res.final_full_accuracy() >= 0.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = SimConfig::quick_test(102);
+        let run = || {
+            let mut sim = Simulation::prepare(&cfg, &spec(), Partition::Dirichlet(0.3));
+            sim.run(MethodKind::AdaptiveFl)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn greedy_wastes_more_communication_than_rl() {
+        let mut cfg = SimConfig::quick_test(103);
+        cfg.rounds = 6;
+        let mut sim = Simulation::prepare(&cfg, &spec(), Partition::Iid);
+        let rl = sim.run(MethodKind::AdaptiveFl);
+        let greedy = sim.run(MethodKind::AdaptiveFlGreedy);
+        assert!(
+            greedy.comm_waste_rate() > rl.comm_waste_rate(),
+            "greedy {} vs rl {}",
+            greedy.comm_waste_rate(),
+            rl.comm_waste_rate()
+        );
+    }
+}

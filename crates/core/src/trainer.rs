@@ -1,0 +1,339 @@
+//! Local training (Step 4 of the paper's workflow) and model
+//! evaluation.
+
+use adaptivefl_data::InMemoryDataset;
+use adaptivefl_models::Network;
+use adaptivefl_nn::layer::{Layer, LayerExt};
+use adaptivefl_nn::loss::{distillation_loss, softmax_cross_entropy};
+use adaptivefl_nn::metrics::{accuracy, RunningMean};
+use adaptivefl_nn::optim::Sgd;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Local SGD hyper-parameters — paper §4: lr 0.01, momentum 0.5, batch
+/// size 50, 5 local epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalTrainer {
+    /// Learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Local epochs per round.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// FedProx proximal coefficient µ: adds `µ(w − w_global)` to every
+    /// trainable gradient, anchoring local training to the received
+    /// model (0 disables; an extension beyond the paper, useful under
+    /// strong non-IID skew).
+    #[serde(default)]
+    pub prox_mu: f32,
+}
+
+impl LocalTrainer {
+    /// The paper's hyper-parameters (lr 0.01, momentum 0.5, batch 50,
+    /// 5 epochs).
+    pub fn paper() -> Self {
+        LocalTrainer { lr: 0.01, momentum: 0.5, epochs: 5, batch_size: 50, prox_mu: 0.0 }
+    }
+
+    /// Faster settings for reduced-scale experiments.
+    pub fn fast() -> Self {
+        LocalTrainer { lr: 0.03, momentum: 0.5, epochs: 2, batch_size: 16, prox_mu: 0.0 }
+    }
+
+    /// Builder-style FedProx coefficient.
+    pub fn with_prox(mut self, mu: f32) -> Self {
+        self.prox_mu = mu;
+        self
+    }
+
+    /// Adds the proximal gradient `µ(w − anchor)` to every trainable
+    /// parameter's gradient.
+    fn apply_prox(&self, net: &mut Network, anchor: &adaptivefl_nn::ParamMap) {
+        if self.prox_mu == 0.0 {
+            return;
+        }
+        let mu = self.prox_mu;
+        net.visit_params_mut(
+            "",
+            &mut |name: &str,
+                  kind: adaptivefl_nn::ParamKind,
+                  value: &mut adaptivefl_tensor::Tensor,
+                  grad: &mut adaptivefl_tensor::Tensor| {
+                if !kind.is_trainable() {
+                    return;
+                }
+                if let Some(a) = anchor.get(name) {
+                    for ((g, &w), &w0) in grad
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(value.as_slice())
+                        .zip(a.as_slice())
+                    {
+                        *g += mu * (w - w0);
+                    }
+                }
+            },
+        );
+    }
+
+    /// Trains the network on a client shard with plain cross-entropy
+    /// (single exit); returns the mean training loss.
+    pub fn train(&self, net: &mut Network, data: &InMemoryDataset, rng: &mut impl Rng) -> f32 {
+        let mut opt = Sgd::new(self.lr, self.momentum);
+        let mut loss = RunningMean::new();
+        let anchor = (self.prox_mu > 0.0).then(|| net.param_map());
+        for _ in 0..self.epochs {
+            for batch in data.shuffled_batches(self.batch_size, rng) {
+                net.zero_grads();
+                let logits = net.forward(batch.x, true);
+                let out = softmax_cross_entropy(&logits, &batch.y);
+                let _ = net.backward(out.dlogits);
+                if let Some(a) = &anchor {
+                    self.apply_prox(net, a);
+                }
+                opt.step(net);
+                loss.add(out.loss, batch.y.len() as f32);
+            }
+        }
+        loss.mean()
+    }
+
+    /// ScaleFL-style multi-exit local training: cross-entropy at every
+    /// active exit plus self-distillation (temperature-scaled KL) from
+    /// the final exit into each earlier exit. Returns the mean combined
+    /// loss.
+    pub fn train_multi_exit(
+        &self,
+        net: &mut Network,
+        data: &InMemoryDataset,
+        kd_weight: f32,
+        kd_temperature: f32,
+        rng: &mut impl Rng,
+    ) -> f32 {
+        let mut opt = Sgd::new(self.lr, self.momentum);
+        let mut loss = RunningMean::new();
+        for _ in 0..self.epochs {
+            for batch in data.shuffled_batches(self.batch_size, rng) {
+                net.zero_grads();
+                let outs = net.forward_multi(batch.x, true);
+                let (last_exit, final_logits) =
+                    outs.last().map(|(e, l)| (*e, l.clone())).expect("final exit");
+                let mut total = 0.0f32;
+                let mut grads = Vec::with_capacity(outs.len());
+                for (e, logits) in outs {
+                    let ce = softmax_cross_entropy(&logits, &batch.y);
+                    total += ce.loss;
+                    let mut g = ce.dlogits;
+                    if e != last_exit && kd_weight > 0.0 {
+                        let kd = distillation_loss(&logits, &final_logits, kd_temperature);
+                        total += kd_weight * kd.loss;
+                        g.axpy(kd_weight, &kd.dlogits);
+                    }
+                    grads.push((e, g));
+                }
+                let _ = net.backward_multi(grads);
+                opt.step(net);
+                loss.add(total, batch.y.len() as f32);
+            }
+        }
+        loss.mean()
+    }
+}
+
+/// Evaluates top-1 accuracy of a network on a dataset, batched to bound
+/// memory.
+///
+/// Evaluation runs the network in training mode so batch-norm uses
+/// *batch statistics* — the static-BN (sBN) convention of HeteroFL-style
+/// systems. Aggregating running statistics across submodels of
+/// different widths poisons them (each width sees different activation
+/// distributions), which otherwise cripples deep BN models; every
+/// method is evaluated the same way.
+pub fn evaluate(net: &mut Network, data: &InMemoryDataset, batch_size: usize) -> f32 {
+    let mut acc = RunningMean::new();
+    let n = data.len();
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + batch_size).min(n);
+        let idx: Vec<usize> = (start..end).collect();
+        let b = data.batch(&idx);
+        let logits = net.forward(b.x, true);
+        acc.add(accuracy(&logits, &b.y), b.y.len() as f32);
+        start = end;
+    }
+    acc.mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptivefl_data::{FederatedDataset, Partition, SynthSpec};
+    use adaptivefl_models::ModelConfig;
+    use adaptivefl_tensor::rng;
+
+    #[test]
+    fn training_reduces_loss_and_lifts_accuracy() {
+        let fed = FederatedDataset::synthesize(
+            &SynthSpec::test_spec(4),
+            1,
+            60,
+            60,
+            Partition::Iid,
+            70,
+        );
+        let cfg = ModelConfig {
+            kind: adaptivefl_models::ModelKind::TinyCnn,
+            input: (3, 8, 8),
+            classes: 4,
+            width_mult: 1.0,
+        };
+        let mut r = rng::seeded(71);
+        let mut net = cfg.build(&cfg.full_plan(), &mut r);
+        let trainer = LocalTrainer { lr: 0.05, momentum: 0.9, epochs: 8, batch_size: 16, prox_mu: 0.0 };
+        let before = evaluate(&mut net, fed.test(), 32);
+        let loss1 = trainer.train(&mut net, fed.client(0), &mut r);
+        let loss2 = trainer.train(&mut net, fed.client(0), &mut r);
+        let after = evaluate(&mut net, fed.test(), 32);
+        assert!(loss2 < loss1, "loss did not decrease: {loss1} → {loss2}");
+        assert!(after > before + 0.15, "accuracy {before} → {after}");
+    }
+
+    #[test]
+    fn multi_exit_training_improves_all_exits() {
+        let fed = FederatedDataset::synthesize(
+            &SynthSpec::test_spec(4),
+            1,
+            60,
+            60,
+            Partition::Iid,
+            72,
+        );
+        let cfg = ModelConfig {
+            kind: adaptivefl_models::ModelKind::TinyCnn,
+            input: (3, 8, 8),
+            classes: 4,
+            width_mult: 1.0,
+        };
+        let bp = cfg.blueprint(&cfg.full_plan(), 3, true);
+        let mut r = rng::seeded(73);
+        let mut net = adaptivefl_models::Network::build(&bp, &mut r);
+        // Three exits triple the trunk gradient, so use a gentler lr
+        // than the single-exit test.
+        let trainer = LocalTrainer { lr: 0.02, momentum: 0.5, epochs: 12, batch_size: 16, prox_mu: 0.0 };
+        let loss = trainer.train_multi_exit(&mut net, fed.client(0), 0.5, 2.0, &mut r);
+        assert!(loss.is_finite());
+        // Final-exit accuracy should be clearly above chance (0.25).
+        let b = fed.test().full_batch();
+        let outs = net.forward_multi(b.x, false);
+        let (_, final_logits) = outs.last().expect("final exit");
+        let acc = adaptivefl_nn::metrics::accuracy(final_logits, &b.y);
+        assert!(acc > 0.5, "final exit accuracy {acc}");
+    }
+
+    #[test]
+    fn evaluate_batches_match_full_batch() {
+        let fed = FederatedDataset::synthesize(
+            &SynthSpec::test_spec(3),
+            1,
+            10,
+            25,
+            Partition::Iid,
+            74,
+        );
+        let cfg = ModelConfig {
+            kind: adaptivefl_models::ModelKind::TinyCnn,
+            input: (3, 8, 8),
+            classes: 3,
+            width_mult: 1.0,
+        };
+        let mut r = rng::seeded(75);
+        let mut net = cfg.build(&cfg.full_plan(), &mut r);
+        let a = evaluate(&mut net, fed.test(), 7);
+        let b = evaluate(&mut net, fed.test(), 25);
+        assert!((a - b).abs() < 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod prox_tests {
+    use super::*;
+    use adaptivefl_data::{FederatedDataset, Partition, SynthSpec};
+    use adaptivefl_models::ModelConfig;
+    use adaptivefl_nn::layer::LayerExt;
+    use adaptivefl_tensor::rng;
+
+    /// FedProx with a huge µ must keep the trained weights near the
+    /// anchor; µ = 0 lets them drift further.
+    #[test]
+    fn prox_term_anchors_weights() {
+        let fed = FederatedDataset::synthesize(
+            &SynthSpec::test_spec(4),
+            1,
+            40,
+            20,
+            Partition::Iid,
+            76,
+        );
+        let cfg = ModelConfig {
+            kind: adaptivefl_models::ModelKind::TinyCnn,
+            input: (3, 8, 8),
+            classes: 4,
+            width_mult: 1.0,
+        };
+        let drift = |mu: f32| {
+            let mut r = rng::seeded(77);
+            let mut net = cfg.build(&cfg.full_plan(), &mut r);
+            let start = net.param_map();
+            let trainer = LocalTrainer {
+                lr: 0.05,
+                momentum: 0.5,
+                epochs: 4,
+                batch_size: 16,
+                prox_mu: mu,
+            };
+            trainer.train(&mut net, fed.client(0), &mut r);
+            net.param_map().sq_distance(&start)
+        };
+        let free = drift(0.0);
+        let anchored = drift(5.0);
+        assert!(
+            anchored < free * 0.5,
+            "prox drift {anchored} should be well below free drift {free}"
+        );
+    }
+
+    /// µ = 0 must be bit-identical to the pre-FedProx behaviour.
+    #[test]
+    fn zero_mu_is_plain_sgd() {
+        let fed = FederatedDataset::synthesize(
+            &SynthSpec::test_spec(3),
+            1,
+            20,
+            10,
+            Partition::Iid,
+            78,
+        );
+        let cfg = ModelConfig {
+            kind: adaptivefl_models::ModelKind::TinyCnn,
+            input: (3, 8, 8),
+            classes: 3,
+            width_mult: 1.0,
+        };
+        let run = |mu: f32| {
+            let mut r = rng::seeded(79);
+            let mut net = cfg.build(&cfg.full_plan(), &mut r);
+            let trainer = LocalTrainer {
+                lr: 0.03,
+                momentum: 0.5,
+                epochs: 2,
+                batch_size: 8,
+                prox_mu: mu,
+            };
+            trainer.train(&mut net, fed.client(0), &mut r);
+            net.param_map()
+        };
+        assert_eq!(run(0.0), run(0.0));
+    }
+}

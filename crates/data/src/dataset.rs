@@ -1,0 +1,206 @@
+//! In-memory labelled image datasets and batching.
+
+use adaptivefl_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One mini-batch: inputs `[b, c, h, w]` and integer labels.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Input tensor `[b, c, h, w]`.
+    pub x: Tensor,
+    /// Labels, length `b`.
+    pub y: Vec<usize>,
+}
+
+/// A dense, in-memory labelled dataset with fixed input shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InMemoryDataset {
+    input: (usize, usize, usize),
+    classes: usize,
+    /// Row-major sample data, `len = n · c · h · w`.
+    data: Vec<f32>,
+    labels: Vec<usize>,
+}
+
+impl InMemoryDataset {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if data length or any label is inconsistent.
+    pub fn new(
+        input: (usize, usize, usize),
+        classes: usize,
+        data: Vec<f32>,
+        labels: Vec<usize>,
+    ) -> Self {
+        let per = input.0 * input.1 * input.2;
+        assert_eq!(data.len(), labels.len() * per, "data/label size mismatch");
+        assert!(labels.iter().all(|&y| y < classes), "label out of range");
+        InMemoryDataset { input, classes, data, labels }
+    }
+
+    /// An empty dataset with the given geometry.
+    pub fn empty(input: (usize, usize, usize), classes: usize) -> Self {
+        InMemoryDataset { input, classes, data: Vec::new(), labels: Vec::new() }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Input shape `(c, h, w)`.
+    pub fn input_shape(&self) -> (usize, usize, usize) {
+        self.input
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Materialises the samples at `indices` as one batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn batch(&self, indices: &[usize]) -> Batch {
+        let (c, h, w) = self.input;
+        let per = c * h * w;
+        let mut x = Vec::with_capacity(indices.len() * per);
+        let mut y = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "sample index {i} out of bounds");
+            x.extend_from_slice(&self.data[i * per..(i + 1) * per]);
+            y.push(self.labels[i]);
+        }
+        Batch {
+            x: Tensor::from_vec(x, &[indices.len(), c, h, w]),
+            y,
+        }
+    }
+
+    /// The whole dataset as one batch.
+    pub fn full_batch(&self) -> Batch {
+        let idx: Vec<usize> = (0..self.len()).collect();
+        self.batch(&idx)
+    }
+
+    /// Builds a subset from sample indices.
+    pub fn subset(&self, indices: &[usize]) -> InMemoryDataset {
+        let b = self.batch(indices);
+        InMemoryDataset::new(self.input, self.classes, b.x.into_vec(), b.y)
+    }
+
+    /// Iterates over shuffled mini-batches of size `batch_size` (last
+    /// batch may be smaller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn shuffled_batches<'a, R: Rng>(
+        &'a self,
+        batch_size: usize,
+        rng: &mut R,
+    ) -> impl Iterator<Item = Batch> + 'a {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        BatchIter { ds: self, order, pos: 0, batch_size }
+    }
+
+    /// Per-class sample counts (length = classes).
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.classes];
+        for &y in &self.labels {
+            h[y] += 1;
+        }
+        h
+    }
+}
+
+struct BatchIter<'a> {
+    ds: &'a InMemoryDataset,
+    order: Vec<usize>,
+    pos: usize,
+    batch_size: usize,
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = Batch;
+
+    fn next(&mut self) -> Option<Batch> {
+        if self.pos >= self.order.len() {
+            return None;
+        }
+        let end = (self.pos + self.batch_size).min(self.order.len());
+        let b = self.ds.batch(&self.order[self.pos..end]);
+        self.pos = end;
+        Some(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptivefl_tensor::rng;
+
+    fn tiny() -> InMemoryDataset {
+        let data: Vec<f32> = (0..5 * 2 * 2 * 2).map(|v| v as f32).collect();
+        InMemoryDataset::new((2, 2, 2), 3, data, vec![0, 1, 2, 0, 1])
+    }
+
+    #[test]
+    fn batch_gathers_samples() {
+        let ds = tiny();
+        let b = ds.batch(&[1, 3]);
+        assert_eq!(b.x.shape(), &[2, 2, 2, 2]);
+        assert_eq!(b.y, vec![1, 0]);
+        assert_eq!(b.x.as_slice()[0], 8.0); // sample 1 starts at 8
+    }
+
+    #[test]
+    fn shuffled_batches_cover_everything_once() {
+        let ds = tiny();
+        let mut r = rng::seeded(9);
+        let mut seen = 0;
+        for b in ds.shuffled_batches(2, &mut r) {
+            seen += b.y.len();
+            assert!(b.y.len() <= 2);
+        }
+        assert_eq!(seen, 5);
+    }
+
+    #[test]
+    fn subset_preserves_geometry() {
+        let ds = tiny();
+        let sub = ds.subset(&[0, 4]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.input_shape(), (2, 2, 2));
+        assert_eq!(sub.labels(), &[0, 1]);
+    }
+
+    #[test]
+    fn class_histogram_counts() {
+        assert_eq!(tiny().class_histogram(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        InMemoryDataset::new((1, 1, 1), 2, vec![0.0], vec![5]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Client partitioning: IID and Dirichlet-α label skew (the paper's
+//! non-IID control) plus a group/writer split.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_distr::{Distribution, Gamma};
+use serde::{Deserialize, Serialize};
+
+/// How training data is split across clients.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Partition {
+    /// Independent and identically distributed.
+    Iid,
+    /// Dirichlet label skew with concentration α (smaller = more
+    /// heterogeneous), as in the paper's non-IID scenarios.
+    Dirichlet(f32),
+    /// Each client is one natural group (FEMNIST writer / Widar
+    /// device); the generator assigns group-specific classes and
+    /// transforms.
+    ByGroup,
+}
+
+impl std::fmt::Display for Partition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Partition::Iid => write!(f, "IID"),
+            Partition::Dirichlet(a) => write!(f, "alpha={a}"),
+            Partition::ByGroup => write!(f, "by-group"),
+        }
+    }
+}
+
+/// Splits `n` samples IID across `clients`, near-equally.
+pub fn iid_partition(n: usize, clients: usize, rng: &mut impl Rng) -> Vec<Vec<usize>> {
+    assert!(clients > 0, "need at least one client");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let mut shards = vec![Vec::new(); clients];
+    for (i, s) in idx.into_iter().enumerate() {
+        shards[i % clients].push(s);
+    }
+    shards
+}
+
+/// Dirichlet label-skew partition: for each class, sample a Dirichlet(α)
+/// vector over clients and allocate that class's samples accordingly.
+///
+/// # Panics
+///
+/// Panics if `alpha <= 0` or `clients == 0`.
+pub fn dirichlet_partition(
+    labels: &[usize],
+    classes: usize,
+    clients: usize,
+    alpha: f32,
+    rng: &mut impl Rng,
+) -> Vec<Vec<usize>> {
+    assert!(alpha > 0.0, "alpha must be positive");
+    assert!(clients > 0, "need at least one client");
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); classes];
+    for (i, &y) in labels.iter().enumerate() {
+        by_class[y].push(i);
+    }
+    let gamma = Gamma::new(alpha as f64, 1.0).expect("valid gamma");
+    let mut shards = vec![Vec::new(); clients];
+    for mut idxs in by_class {
+        if idxs.is_empty() {
+            continue;
+        }
+        idxs.shuffle(rng);
+        // Dirichlet via normalised Gamma draws.
+        let mut weights: Vec<f64> = (0..clients).map(|_| gamma.sample(rng).max(1e-12)).collect();
+        let total: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= total;
+        }
+        // Cumulative allocation.
+        let n = idxs.len();
+        let mut start = 0usize;
+        let mut acc = 0.0f64;
+        for (c, &w) in weights.iter().enumerate() {
+            acc += w;
+            let end = if c + 1 == clients {
+                n
+            } else {
+                (acc * n as f64).round() as usize
+            }
+            .min(n);
+            shards[c].extend_from_slice(&idxs[start..end.max(start)]);
+            start = end.max(start);
+        }
+    }
+    shards
+}
+
+/// Class histogram of one shard against a label array.
+pub fn shard_histogram(shard: &[usize], labels: &[usize], classes: usize) -> Vec<usize> {
+    let mut h = vec![0usize; classes];
+    for &i in shard {
+        h[labels[i]] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptivefl_tensor::rng;
+
+    fn labels(n: usize, classes: usize) -> Vec<usize> {
+        (0..n).map(|i| i % classes).collect()
+    }
+
+    #[test]
+    fn iid_covers_all_samples_evenly() {
+        let mut r = rng::seeded(15);
+        let shards = iid_partition(103, 10, &mut r);
+        let total: usize = shards.iter().map(Vec::len).sum();
+        assert_eq!(total, 103);
+        for s in &shards {
+            assert!(s.len() == 10 || s.len() == 11);
+        }
+    }
+
+    #[test]
+    fn dirichlet_covers_all_samples() {
+        let mut r = rng::seeded(16);
+        let l = labels(500, 10);
+        let shards = dirichlet_partition(&l, 10, 20, 0.3, &mut r);
+        let total: usize = shards.iter().map(Vec::len).sum();
+        assert_eq!(total, 500);
+        let mut seen = vec![false; 500];
+        for s in &shards {
+            for &i in s {
+                assert!(!seen[i], "sample {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn small_alpha_is_more_skewed_than_large() {
+        let l = labels(2000, 10);
+        let skew = |alpha: f32, seed: u64| -> f64 {
+            let mut r = rng::seeded(seed);
+            let shards = dirichlet_partition(&l, 10, 20, alpha, &mut r);
+            // Mean across clients of (max class share).
+            let mut acc = 0.0;
+            let mut cnt = 0;
+            for s in &shards {
+                if s.is_empty() {
+                    continue;
+                }
+                let h = shard_histogram(s, &l, 10);
+                let max = *h.iter().max().expect("classes") as f64;
+                acc += max / s.len() as f64;
+                cnt += 1;
+            }
+            acc / cnt as f64
+        };
+        let tight = skew(100.0, 17);
+        let loose = skew(0.1, 18);
+        assert!(
+            loose > tight + 0.15,
+            "alpha=0.1 skew {loose} should exceed alpha=100 skew {tight}"
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Partition::Iid.to_string(), "IID");
+        assert_eq!(Partition::Dirichlet(0.6).to_string(), "alpha=0.6");
+    }
+}

@@ -1,0 +1,275 @@
+//! Procedural classification tasks standing in for CIFAR-10/100,
+//! FEMNIST and Widar.
+//!
+//! Each class is a smooth random prototype field; a sample is its class
+//! prototype plus a per-sample smooth distortion and white noise, with
+//! an optional *group transform* (per-writer for FEMNIST, per-device
+//! for Widar) that makes data naturally non-IID across groups.
+
+use adaptivefl_tensor::Tensor;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::InMemoryDataset;
+
+/// Generator parameters for a synthetic classification task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SynthSpec {
+    /// Input shape `(c, h, w)`.
+    pub input: (usize, usize, usize),
+    /// Number of classes.
+    pub classes: usize,
+    /// Amplitude of the class prototype signal.
+    pub signal: f32,
+    /// Std-dev of white pixel noise.
+    pub noise: f32,
+    /// Amplitude of the smooth per-sample distortion field.
+    pub distortion: f32,
+    /// Strength of the per-group (writer/device) transform; 0 disables.
+    pub group_shift: f32,
+    /// Resolution of the coarse grid the smooth fields are upsampled
+    /// from (lower = smoother).
+    pub grid: usize,
+}
+
+impl SynthSpec {
+    /// CIFAR-10-like: 3×16×16, 10 classes.
+    pub fn cifar10_like() -> Self {
+        SynthSpec {
+            input: (3, 16, 16),
+            classes: 10,
+            signal: 1.0,
+            noise: 0.45,
+            distortion: 0.35,
+            group_shift: 0.0,
+            grid: 4,
+        }
+    }
+
+    /// CIFAR-100-like: 3×16×16, 100 classes (harder: weaker signal).
+    pub fn cifar100_like() -> Self {
+        SynthSpec {
+            input: (3, 16, 16),
+            classes: 100,
+            signal: 1.0,
+            noise: 0.55,
+            distortion: 0.40,
+            group_shift: 0.0,
+            grid: 4,
+        }
+    }
+
+    /// FEMNIST-like: 1×16×16, 62 classes, strong writer transform.
+    pub fn femnist_like() -> Self {
+        SynthSpec {
+            input: (1, 16, 16),
+            classes: 62,
+            signal: 1.2,
+            noise: 0.40,
+            distortion: 0.30,
+            group_shift: 0.6,
+            grid: 4,
+        }
+    }
+
+    /// Widar-like: 1×16×16 body-velocity profiles, 22 gestures, strong
+    /// device/environment transform.
+    pub fn widar_like() -> Self {
+        SynthSpec {
+            input: (1, 16, 16),
+            classes: 22,
+            signal: 1.1,
+            noise: 0.50,
+            distortion: 0.35,
+            group_shift: 0.8,
+            grid: 4,
+        }
+    }
+
+    /// A tiny spec for unit tests.
+    pub fn test_spec(classes: usize) -> Self {
+        SynthSpec {
+            input: (3, 8, 8),
+            classes,
+            signal: 1.5,
+            noise: 0.3,
+            distortion: 0.2,
+            group_shift: 0.0,
+            grid: 2,
+        }
+    }
+}
+
+/// A smooth random field: a `grid×grid` Gaussian lattice bilinearly
+/// upsampled to `h×w`, one lattice per channel.
+fn smooth_field(spec: &SynthSpec, amplitude: f32, rng: &mut impl Rng) -> Vec<f32> {
+    let (c, h, w) = spec.input;
+    let g = spec.grid.max(1);
+    let normal = Normal::new(0.0f32, 1.0).expect("valid normal");
+    let mut out = vec![0.0f32; c * h * w];
+    for ci in 0..c {
+        let lattice: Vec<f32> = (0..g * g).map(|_| normal.sample(rng) * amplitude).collect();
+        for yi in 0..h {
+            for xi in 0..w {
+                // Bilinear interpolation over the lattice.
+                let fy = yi as f32 / h as f32 * (g - 1).max(1) as f32;
+                let fx = xi as f32 / w as f32 * (g - 1).max(1) as f32;
+                let (y0, x0) = (fy.floor() as usize, fx.floor() as usize);
+                let (y1, x1) = ((y0 + 1).min(g - 1), (x0 + 1).min(g - 1));
+                let (dy, dx) = (fy - y0 as f32, fx - x0 as f32);
+                let v = lattice[y0 * g + x0] * (1.0 - dy) * (1.0 - dx)
+                    + lattice[y0 * g + x1] * (1.0 - dy) * dx
+                    + lattice[y1 * g + x0] * dy * (1.0 - dx)
+                    + lattice[y1 * g + x1] * dy * dx;
+                out[ci * h * w + yi * w + xi] = v;
+            }
+        }
+    }
+    out
+}
+
+/// Fixed per-task structures: class prototypes and group transforms.
+#[derive(Debug, Clone)]
+pub struct SynthTask {
+    spec: SynthSpec,
+    prototypes: Vec<Vec<f32>>, // one field per class
+    groups: Vec<Vec<f32>>,     // one additive field per group
+}
+
+impl SynthTask {
+    /// Draws the fixed task structure (prototypes, group transforms).
+    pub fn new(spec: SynthSpec, num_groups: usize, rng: &mut impl Rng) -> Self {
+        let prototypes = (0..spec.classes)
+            .map(|_| smooth_field(&spec, spec.signal, rng))
+            .collect();
+        let groups = (0..num_groups.max(1))
+            .map(|_| smooth_field(&spec, spec.group_shift, rng))
+            .collect();
+        SynthTask { spec, prototypes, groups }
+    }
+
+    /// The generator spec.
+    pub fn spec(&self) -> &SynthSpec {
+        &self.spec
+    }
+
+    /// Number of group transforms.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Draws one sample of class `y` under group `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` or `g` are out of range.
+    pub fn sample(&self, y: usize, g: usize, rng: &mut impl Rng) -> Vec<f32> {
+        let proto = &self.prototypes[y];
+        let group = &self.groups[g];
+        let distort = smooth_field(&self.spec, self.spec.distortion, rng);
+        let normal = Normal::new(0.0f32, self.spec.noise.max(f32::MIN_POSITIVE))
+            .expect("valid normal");
+        proto
+            .iter()
+            .zip(group)
+            .zip(distort)
+            .map(|((&p, &gr), d)| p + gr + d + normal.sample(rng))
+            .collect()
+    }
+
+    /// Generates a dataset of `n` samples with the given labels drawn
+    /// uniformly (group 0).
+    pub fn dataset_uniform(&self, n: usize, rng: &mut impl Rng) -> InMemoryDataset {
+        let labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..self.spec.classes)).collect();
+        self.dataset_with_labels(&labels, 0, rng)
+    }
+
+    /// Generates a dataset with explicit labels under one group.
+    pub fn dataset_with_labels(
+        &self,
+        labels: &[usize],
+        group: usize,
+        rng: &mut impl Rng,
+    ) -> InMemoryDataset {
+        let per = self.spec.input.0 * self.spec.input.1 * self.spec.input.2;
+        let mut data = Vec::with_capacity(labels.len() * per);
+        for &y in labels {
+            data.extend(self.sample(y, group, rng));
+        }
+        InMemoryDataset::new(self.spec.input, self.spec.classes, data, labels.to_vec())
+    }
+
+    /// The noiseless class prototype as a tensor (useful in tests).
+    pub fn prototype(&self, y: usize) -> Tensor {
+        let (c, h, w) = self.spec.input;
+        Tensor::from_vec(self.prototypes[y].clone(), &[c, h, w])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptivefl_tensor::rng;
+
+    #[test]
+    fn prototypes_are_distinct() {
+        let mut r = rng::seeded(10);
+        let task = SynthTask::new(SynthSpec::test_spec(4), 1, &mut r);
+        let a = task.prototype(0);
+        let b = task.prototype(1);
+        assert!(a.zip_map(&b, |x, y| (x - y).abs()).sum() > 1.0);
+    }
+
+    #[test]
+    fn samples_cluster_near_their_prototype() {
+        let mut r = rng::seeded(11);
+        let task = SynthTask::new(SynthSpec::test_spec(3), 1, &mut r);
+        // A sample of class 0 should be closer to prototype 0 than to
+        // prototype 1 on average.
+        let mut closer = 0;
+        for _ in 0..20 {
+            let s = task.sample(0, 0, &mut r);
+            let d0: f32 = s
+                .iter()
+                .zip(task.prototype(0).as_slice())
+                .map(|(a, b)| (a - b).powi(2))
+                .sum();
+            let d1: f32 = s
+                .iter()
+                .zip(task.prototype(1).as_slice())
+                .map(|(a, b)| (a - b).powi(2))
+                .sum();
+            if d0 < d1 {
+                closer += 1;
+            }
+        }
+        assert!(closer >= 16, "only {closer}/20 samples near own prototype");
+    }
+
+    #[test]
+    fn dataset_generation_is_deterministic() {
+        let spec = SynthSpec::test_spec(5);
+        let mk = || {
+            let mut r = rng::seeded(12);
+            let task = SynthTask::new(spec, 2, &mut r);
+            task.dataset_uniform(10, &mut r)
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn group_transform_shifts_data() {
+        let mut spec = SynthSpec::test_spec(2);
+        spec.group_shift = 2.0;
+        let mut r = rng::seeded(13);
+        let task = SynthTask::new(spec, 2, &mut r);
+        // Same class, different groups → systematically different data.
+        let mut r1 = rng::seeded(14);
+        let mut r2 = rng::seeded(14);
+        let a = task.sample(0, 0, &mut r1);
+        let b = task.sample(0, 1, &mut r2);
+        let diff: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Resource fluctuation models — the "uncertain operating environment"
+//! of the paper.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// How a device's available resources change over rounds. All variants
+/// are deterministic functions of `(seed, round)`, so replays are
+/// exact.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ResourceDynamics {
+    /// Resources never change.
+    Static,
+    /// Capacity jitters uniformly in `[1-jitter, 1+jitter]` each round.
+    Jitter {
+        /// Relative jitter amplitude, e.g. `0.1` for ±10 %.
+        jitter: f64,
+    },
+    /// Like `Jitter`, but with probability `drop_prob` the device is
+    /// heavily loaded this round and only `drop_to` of its capacity is
+    /// available (e.g. a co-located workload spike).
+    Spiky {
+        /// Baseline relative jitter.
+        jitter: f64,
+        /// Per-round probability of a load spike.
+        drop_prob: f64,
+        /// Remaining capacity fraction during a spike.
+        drop_to: f64,
+    },
+}
+
+impl ResourceDynamics {
+    /// The paper-style uncertain environment: ±10 % jitter with
+    /// occasional 40 %-capacity spikes.
+    pub fn uncertain() -> Self {
+        ResourceDynamics::Spiky { jitter: 0.10, drop_prob: 0.15, drop_to: 0.4 }
+    }
+
+    /// Multiplicative capacity factor for a round.
+    pub fn factor(&self, seed: u64, round: usize) -> f64 {
+        match *self {
+            ResourceDynamics::Static => 1.0,
+            ResourceDynamics::Jitter { jitter } => {
+                let mut r = round_rng(seed, round);
+                1.0 + jitter * (r.gen::<f64>() * 2.0 - 1.0)
+            }
+            ResourceDynamics::Spiky { jitter, drop_prob, drop_to } => {
+                let mut r = round_rng(seed, round);
+                let base = 1.0 + jitter * (r.gen::<f64>() * 2.0 - 1.0);
+                if r.gen::<f64>() < drop_prob {
+                    base * drop_to
+                } else {
+                    base
+                }
+            }
+        }
+    }
+}
+
+fn round_rng(seed: u64, round: usize) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ round as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_factor_is_one() {
+        assert_eq!(ResourceDynamics::Static.factor(1, 0), 1.0);
+        assert_eq!(ResourceDynamics::Static.factor(1, 99), 1.0);
+    }
+
+    #[test]
+    fn jitter_stays_in_bounds_and_varies() {
+        let d = ResourceDynamics::Jitter { jitter: 0.2 };
+        let fs: Vec<f64> = (0..50).map(|t| d.factor(7, t)).collect();
+        assert!(fs.iter().all(|&f| (0.8..=1.2).contains(&f)));
+        let min = fs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = fs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 0.05, "no variation: {min}..{max}");
+    }
+
+    #[test]
+    fn factor_is_deterministic() {
+        let d = ResourceDynamics::uncertain();
+        assert_eq!(d.factor(42, 3), d.factor(42, 3));
+        assert_ne!(d.factor(42, 3), d.factor(43, 3));
+    }
+
+    #[test]
+    fn spiky_sometimes_drops() {
+        let d = ResourceDynamics::Spiky { jitter: 0.0, drop_prob: 0.5, drop_to: 0.3 };
+        let drops = (0..100).filter(|&t| d.factor(9, t) < 0.5).count();
+        assert!(drops > 20 && drops < 80, "drops {drops}");
+    }
+}

@@ -1,0 +1,63 @@
+//! Compute/communication latency model for simulated wall-clock time.
+
+use serde::{Deserialize, Serialize};
+
+/// A two-parameter latency model: sustained training throughput
+/// (MAC/s, counting forward+backward as 3× forward internally) and
+/// link bandwidth (bytes/s).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Sustained forward-pass throughput in MAC/s.
+    pub macs_per_sec: f64,
+    /// Link bandwidth in bytes/s (up = down).
+    pub bytes_per_sec: f64,
+}
+
+/// Backward pass costs roughly twice the forward pass.
+const TRAIN_FACTOR: f64 = 3.0;
+
+impl LatencyModel {
+    /// Creates a latency model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both rates are positive.
+    pub fn new(macs_per_sec: f64, bytes_per_sec: f64) -> Self {
+        assert!(macs_per_sec > 0.0 && bytes_per_sec > 0.0, "rates must be positive");
+        LatencyModel { macs_per_sec, bytes_per_sec }
+    }
+
+    /// Seconds to *train* over `macs` forward-pass MACs (the 3×
+    /// forward/backward factor is applied here).
+    pub fn compute_secs(&self, macs: u64) -> f64 {
+        macs as f64 * TRAIN_FACTOR / self.macs_per_sec
+    }
+
+    /// Seconds to move `bytes` over the link.
+    pub fn comm_secs(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_includes_backward_factor() {
+        let m = LatencyModel::new(3.0e9, 1.0e6);
+        assert!((m.compute_secs(1_000_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comm_is_linear() {
+        let m = LatencyModel::new(1.0e9, 2.0e6);
+        assert!((m.comm_secs(4_000_000) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_rate() {
+        LatencyModel::new(0.0, 1.0);
+    }
+}

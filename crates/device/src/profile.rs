@@ -1,0 +1,254 @@
+//! Device classes and per-device simulation state.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dynamics::ResourceDynamics;
+use crate::latency::LatencyModel;
+
+/// The paper's three device classes (Table 5): weak devices can only
+/// train small models, medium devices small or medium models, strong
+/// devices any model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// e.g. Raspberry Pi 4B — fits only S-level models.
+    Weak,
+    /// e.g. Jetson Nano — fits S and M.
+    Medium,
+    /// e.g. Jetson Xavier AGX — fits everything.
+    Strong,
+}
+
+impl DeviceClass {
+    /// Baseline capacity as a fraction of the full model's parameter
+    /// count. Chosen so that, with the paper's level ratios
+    /// (L=1.0, M≈0.5, S≈0.25), weak fits only S, medium fits S/M, and
+    /// strong fits all levels.
+    pub fn capacity_fraction(self) -> f64 {
+        match self {
+            DeviceClass::Weak => 0.30,
+            DeviceClass::Medium => 0.55,
+            DeviceClass::Strong => 1.05,
+        }
+    }
+
+    /// Default latency profile for the class (see
+    /// [`testbed`](crate::testbed) for calibrated presets).
+    pub fn default_latency(self) -> LatencyModel {
+        match self {
+            DeviceClass::Weak => LatencyModel::new(5.0e9, 6.0e6),
+            DeviceClass::Medium => LatencyModel::new(4.0e10, 12.0e6),
+            DeviceClass::Strong => LatencyModel::new(3.0e11, 25.0e6),
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DeviceClass::Weak => "weak",
+            DeviceClass::Medium => "medium",
+            DeviceClass::Strong => "strong",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One simulated AIoT device.
+///
+/// The capacity at round `t` is `base · fluctuation(t)`, where the
+/// fluctuation is produced deterministically by the device's
+/// [`ResourceDynamics`] — the FL server never reads it directly (the
+/// paper's privacy constraint); only the client-side pruning does.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceSim {
+    id: usize,
+    class: DeviceClass,
+    base_capacity: u64,
+    dynamics: ResourceDynamics,
+    latency: LatencyModel,
+    seed: u64,
+    /// Per-round probability that the device is reachable (1.0 =
+    /// always online).
+    #[serde(default = "default_availability")]
+    availability: f64,
+}
+
+fn default_availability() -> f64 {
+    1.0
+}
+
+impl DeviceSim {
+    /// Creates a device with an explicit base capacity (in parameter
+    /// elements).
+    pub fn new(
+        id: usize,
+        class: DeviceClass,
+        base_capacity: u64,
+        dynamics: ResourceDynamics,
+        seed: u64,
+    ) -> Self {
+        DeviceSim {
+            id,
+            class,
+            base_capacity,
+            dynamics,
+            latency: class.default_latency(),
+            seed,
+            availability: 1.0,
+        }
+    }
+
+    /// Creates a device whose capacity is the class fraction of
+    /// `full_model_params`.
+    pub fn from_class(
+        id: usize,
+        class: DeviceClass,
+        full_model_params: u64,
+        dynamics: ResourceDynamics,
+        seed: u64,
+    ) -> Self {
+        let cap = (full_model_params as f64 * class.capacity_fraction()).round() as u64;
+        Self::new(id, class, cap, dynamics, seed)
+    }
+
+    /// Overrides the latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the per-round online probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `availability` is in `(0, 1]`.
+    pub fn with_availability(mut self, availability: f64) -> Self {
+        assert!(
+            availability > 0.0 && availability <= 1.0,
+            "availability must be in (0, 1]"
+        );
+        self.availability = availability;
+        self
+    }
+
+    /// Whether the device is reachable in `round` (deterministic per
+    /// seed/id/round; independent of the capacity stream).
+    pub fn available_at(&self, round: usize) -> bool {
+        if self.availability >= 1.0 {
+            return true;
+        }
+        use rand::{Rng, SeedableRng};
+        let mut r = rand_chacha::ChaCha8Rng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0xA076_1D64_78BD_642F)
+                ^ (self.id as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB)
+                ^ (round as u64).rotate_left(17),
+        );
+        r.gen::<f64>() < self.availability
+    }
+
+    /// Device identifier.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Device class.
+    pub fn class(&self) -> DeviceClass {
+        self.class
+    }
+
+    /// Baseline capacity in parameter elements.
+    pub fn base_capacity(&self) -> u64 {
+        self.base_capacity
+    }
+
+    /// The latency model.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Available capacity (parameter elements) at round `t` — the `Γ`
+    /// of the paper's available-resource-aware pruning.
+    pub fn capacity_at(&self, round: usize) -> u64 {
+        let f = self.dynamics.factor(self.seed ^ (self.id as u64).wrapping_mul(0x9E37), round);
+        (self.base_capacity as f64 * f).round() as u64
+    }
+
+    /// Wall-clock seconds to train locally (`macs` MACs total over all
+    /// samples/epochs) and exchange `bytes_down + bytes_up` bytes.
+    pub fn round_time(&self, macs: u64, bytes_down: u64, bytes_up: u64) -> f64 {
+        self.latency.compute_secs(macs) + self.latency.comm_secs(bytes_down + bytes_up)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_fractions_are_ordered() {
+        assert!(DeviceClass::Weak.capacity_fraction() < DeviceClass::Medium.capacity_fraction());
+        assert!(DeviceClass::Medium.capacity_fraction() < DeviceClass::Strong.capacity_fraction());
+    }
+
+    #[test]
+    fn static_capacity_is_constant() {
+        let d = DeviceSim::from_class(3, DeviceClass::Medium, 1_000_000, ResourceDynamics::Static, 5);
+        assert_eq!(d.capacity_at(0), d.capacity_at(17));
+        assert_eq!(d.capacity_at(0), 550_000);
+    }
+
+    #[test]
+    fn strong_fits_full_model() {
+        let d = DeviceSim::from_class(0, DeviceClass::Strong, 1_000_000, ResourceDynamics::Static, 5);
+        assert!(d.capacity_at(0) >= 1_000_000);
+    }
+
+    #[test]
+    fn round_time_monotone_in_work() {
+        let d = DeviceSim::from_class(0, DeviceClass::Weak, 1000, ResourceDynamics::Static, 1);
+        assert!(d.round_time(2_000_000, 1000, 1000) > d.round_time(1_000_000, 1000, 1000));
+        assert!(d.round_time(1_000_000, 2000, 2000) > d.round_time(1_000_000, 1000, 1000));
+    }
+}
+
+#[cfg(test)]
+mod availability_tests {
+    use super::*;
+
+    #[test]
+    fn full_availability_is_always_online() {
+        let d = DeviceSim::from_class(0, DeviceClass::Weak, 1000, ResourceDynamics::Static, 1);
+        assert!((0..100).all(|t| d.available_at(t)));
+    }
+
+    #[test]
+    fn partial_availability_drops_roughly_proportionally() {
+        let d = DeviceSim::from_class(1, DeviceClass::Medium, 1000, ResourceDynamics::Static, 2)
+            .with_availability(0.7);
+        let online = (0..1000).filter(|&t| d.available_at(t)).count();
+        assert!((600..800).contains(&online), "online {online}/1000");
+    }
+
+    #[test]
+    fn availability_is_deterministic_and_device_specific() {
+        let mk = |id| {
+            DeviceSim::from_class(id, DeviceClass::Weak, 1000, ResourceDynamics::Static, 3)
+                .with_availability(0.5)
+        };
+        let a = mk(0);
+        let b = mk(1);
+        let pat_a: Vec<bool> = (0..64).map(|t| a.available_at(t)).collect();
+        let pat_a2: Vec<bool> = (0..64).map(|t| a.available_at(t)).collect();
+        let pat_b: Vec<bool> = (0..64).map(|t| b.available_at(t)).collect();
+        assert_eq!(pat_a, pat_a2);
+        assert_ne!(pat_a, pat_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "availability must be in")]
+    fn rejects_zero_availability() {
+        let _ = DeviceSim::from_class(0, DeviceClass::Weak, 1000, ResourceDynamics::Static, 4)
+            .with_availability(0.0);
+    }
+}

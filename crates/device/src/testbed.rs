@@ -1,0 +1,77 @@
+//! The paper's real test-bed (Table 5), reproduced as calibrated
+//! device presets: 4× Raspberry Pi 4B, 10× Jetson Nano, 3× Jetson
+//! Xavier AGX.
+//!
+//! Throughput numbers are order-of-magnitude sustained training rates
+//! for small CNNs on these boards (Pi: CPU-only; Nano: 128-core
+//! Maxwell; Xavier: 512-core Volta), and bandwidths reflect a shared
+//! Wi-Fi uplink. Only ratios matter for reproducing the *shape* of the
+//! wall-clock learning curves in Figure 6.
+
+use crate::dynamics::ResourceDynamics;
+use crate::fleet::DeviceFleet;
+use crate::latency::LatencyModel;
+use crate::profile::{DeviceClass, DeviceSim};
+
+/// Raspberry Pi 4B: ARM Cortex-A72, 2 GB — weak client.
+pub fn raspberry_pi_4b(id: usize, full_model_params: u64, seed: u64) -> DeviceSim {
+    DeviceSim::from_class(id, DeviceClass::Weak, full_model_params, ResourceDynamics::uncertain(), seed)
+        .with_latency(LatencyModel::new(2.0e9, 4.0e6))
+}
+
+/// Jetson Nano: 128-core Maxwell GPU, 8 GB — medium client.
+pub fn jetson_nano(id: usize, full_model_params: u64, seed: u64) -> DeviceSim {
+    DeviceSim::from_class(id, DeviceClass::Medium, full_model_params, ResourceDynamics::uncertain(), seed)
+        .with_latency(LatencyModel::new(2.5e10, 8.0e6))
+}
+
+/// Jetson Xavier AGX: 512-core NVIDIA GPU, 32 GB — strong client.
+pub fn jetson_xavier_agx(id: usize, full_model_params: u64, seed: u64) -> DeviceSim {
+    DeviceSim::from_class(id, DeviceClass::Strong, full_model_params, ResourceDynamics::uncertain(), seed)
+        .with_latency(LatencyModel::new(4.0e11, 15.0e6))
+}
+
+/// The full 17-client test-bed of the paper's Table 5:
+/// 4 Pi 4B + 10 Jetson Nano + 3 Xavier AGX.
+pub fn paper_testbed(full_model_params: u64, seed: u64) -> DeviceFleet {
+    let mut devices = Vec::with_capacity(17);
+    for i in 0..4 {
+        devices.push(raspberry_pi_4b(i, full_model_params, seed));
+    }
+    for i in 4..14 {
+        devices.push(jetson_nano(i, full_model_params, seed));
+    }
+    for i in 14..17 {
+        devices.push(jetson_xavier_agx(i, full_model_params, seed));
+    }
+    DeviceFleet::new(devices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_matches_table5_counts() {
+        let fleet = paper_testbed(1_000_000, 1);
+        assert_eq!(fleet.len(), 17);
+        assert_eq!(fleet.class_counts(), (4, 10, 3));
+    }
+
+    #[test]
+    fn xavier_is_much_faster_than_pi() {
+        let pi = raspberry_pi_4b(0, 1_000_000, 1);
+        let agx = jetson_xavier_agx(1, 1_000_000, 1);
+        let work = 10_000_000_000u64;
+        assert!(pi.round_time(work, 0, 0) > 50.0 * agx.round_time(work, 0, 0));
+    }
+
+    #[test]
+    fn uncertain_dynamics_fluctuate() {
+        let nano = jetson_nano(2, 1_000_000, 3);
+        let caps: Vec<u64> = (0..30).map(|t| nano.capacity_at(t)).collect();
+        let min = *caps.iter().min().expect("non-empty");
+        let max = *caps.iter().max().expect("non-empty");
+        assert!(max > min, "capacity never changed");
+    }
+}

@@ -1,0 +1,168 @@
+//! Analytic cost model: exact parameter and FLOP (multiply-accumulate)
+//! counts for a blueprint, used to regenerate Table 1 and to drive the
+//! device latency model.
+
+use crate::block::{Block, Blueprint};
+
+/// Symbolic activation shape while walking a blueprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Act {
+    /// Spatial feature map `(channels, h, w)`.
+    Map(usize, usize, usize),
+    /// Flat feature vector.
+    Vec(usize),
+}
+
+/// Cost of one model: parameters and multiply-accumulate operations for
+/// a single input sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Cost {
+    /// Total parameter elements (incl. biases and BN parameters).
+    pub params: u64,
+    /// Multiply-accumulate operations per sample (the paper's #FLOPS
+    /// column counts MACs).
+    pub macs: u64,
+}
+
+impl Cost {
+    fn add(&mut self, params: u64, macs: u64) {
+        self.params += params;
+        self.macs += macs;
+    }
+}
+
+fn walk(blocks: &[Block], act: Act, cost: &mut Cost) -> Act {
+    let mut a = act;
+    for b in blocks {
+        a = step(b, a, cost);
+    }
+    a
+}
+
+fn step(block: &Block, act: Act, cost: &mut Cost) -> Act {
+    match block {
+        Block::Conv(c) => {
+            let (in_c, h, w) = match act {
+                Act::Map(ch, h, w) => (ch, h, w),
+                Act::Vec(_) => panic!("conv {} applied to flat activation", c.name),
+            };
+            assert_eq!(in_c, c.in_c, "conv {} input channel mismatch", c.name);
+            let oh = (h + 2 * c.pad - c.k) / c.stride + 1;
+            let ow = (w + 2 * c.pad - c.k) / c.stride + 1;
+            let per_pixel = if c.depthwise {
+                c.out_c * c.k * c.k
+            } else {
+                c.out_c * c.in_c * c.k * c.k
+            };
+            cost.add(c.num_params() as u64, per_pixel as u64 * (oh * ow) as u64);
+            Act::Map(c.out_c, oh, ow)
+        }
+        Block::Linear(l) => {
+            let in_f = match act {
+                Act::Vec(f) => f,
+                Act::Map(c, h, w) => c * h * w, // implicit flatten tolerated
+            };
+            assert_eq!(in_f, l.in_f, "linear {} input width mismatch", l.name);
+            cost.add(l.num_params() as u64, (l.in_f * l.out_f) as u64);
+            Act::Vec(l.out_f)
+        }
+        Block::MaxPool(win) => match act {
+            Act::Map(c, h, w) => {
+                assert!(h % win == 0 && w % win == 0, "pool window must divide map");
+                Act::Map(c, h / win, w / win)
+            }
+            Act::Vec(_) => panic!("pool applied to flat activation"),
+        },
+        Block::GlobalAvgPool => match act {
+            Act::Map(c, _, _) => Act::Vec(c),
+            Act::Vec(_) => panic!("global pool applied to flat activation"),
+        },
+        Block::Flatten => match act {
+            Act::Map(c, h, w) => Act::Vec(c * h * w),
+            Act::Vec(f) => Act::Vec(f),
+        },
+        Block::Residual { main, shortcut } => {
+            let out = walk(main, act, cost);
+            if let Some(sc) = shortcut {
+                let sc_out = walk(sc, act, cost);
+                assert_eq!(sc_out, out, "residual branch shape mismatch");
+            }
+            out
+        }
+        Block::LinearResidual { main } => {
+            let out = walk(main, act, cost);
+            assert_eq!(out, act, "linear residual must preserve shape");
+            out
+        }
+    }
+}
+
+/// Computes the cost of a blueprint for the given input `(c, h, w)`.
+///
+/// Also validates all inter-block shape constraints as a side effect,
+/// so every test that counts costs doubles as an architecture check.
+///
+/// # Panics
+///
+/// Panics if the blueprint's blocks are not shape-consistent.
+pub fn cost_of(bp: &Blueprint, input: (usize, usize, usize)) -> Cost {
+    let mut cost = Cost::default();
+    let mut act = Act::Map(input.0, input.1, input.2);
+    let mut seg_out = Vec::with_capacity(bp.segments.len());
+    for seg in &bp.segments {
+        act = walk(seg, act, &mut cost);
+        seg_out.push(act);
+    }
+    for &e in &bp.active_exits {
+        walk(&bp.exits[e], seg_out[e], &mut cost);
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{ConvSpec, LinearSpec};
+
+    #[test]
+    fn cost_of_simple_conv_net() {
+        let bp = Blueprint {
+            segments: vec![vec![
+                Block::Conv(ConvSpec::dense("c0", 3, 8, 3, 1, 1, false, true)),
+                Block::MaxPool(2),
+                Block::GlobalAvgPool,
+            ]],
+            exits: vec![vec![Block::Linear(LinearSpec {
+                name: "fc".into(),
+                in_f: 8,
+                out_f: 10,
+                relu: false,
+            })]],
+            active_exits: vec![0],
+        };
+        let c = cost_of(&bp, (3, 8, 8));
+        // Conv: 8·3·9 params + 8 bias; MACs 216·64. FC: 90 params, 80 MACs.
+        assert_eq!(c.params, (8 * 3 * 9 + 8 + 8 * 10 + 10) as u64);
+        assert_eq!(c.macs, (8 * 3 * 9 * 64 + 80) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn detects_inconsistent_channels() {
+        let bp = Blueprint {
+            segments: vec![vec![
+                // wrong: input has 3 channels, spec says 4
+                Block::Conv(ConvSpec::dense("c0", 4, 8, 3, 1, 1, false, true)),
+                Block::GlobalAvgPool,
+            ]],
+            exits: vec![vec![Block::Linear(LinearSpec {
+                name: "fc".into(),
+                in_f: 8,
+                out_f: 10,
+                relu: false,
+            })]],
+            active_exits: vec![0],
+        };
+        cost_of(&bp, (3, 8, 8));
+    }
+}

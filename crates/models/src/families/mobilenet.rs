@@ -1,0 +1,202 @@
+//! MobileNetV2 (CIFAR/AIoT-adapted strides) with width pruning at
+//! inverted-residual-block granularity — the model of the paper's real
+//! test-bed experiment (Widar).
+//!
+//! Prunable units (1-based): unit 1 is the stem conv, units 2–18 the 17
+//! inverted residual blocks, unit 19 the final 1×1 conv.
+
+use crate::block::{Block, Blueprint, ConvSpec, LinearSpec};
+use crate::plan::WidthPlan;
+
+/// Base widths: stem, 17 block outputs, last conv.
+pub const BASE_WIDTHS: [usize; 19] = [
+    32, 16, 24, 24, 32, 32, 32, 64, 64, 64, 64, 96, 96, 96, 160, 160, 160, 320, 1280,
+];
+
+/// Expansion factor per block (same order as blocks in
+/// [`BASE_WIDTHS`]).
+const EXPANSIONS: [usize; 17] = [1, 6, 6, 6, 6, 6, 6, 6, 6, 6, 6, 6, 6, 6, 6, 6, 6];
+
+/// Stride per block (AIoT-adapted: fewer downsamples for small inputs).
+const STRIDES: [usize; 17] = [1, 1, 1, 2, 1, 1, 2, 1, 1, 1, 1, 1, 1, 2, 1, 1, 1];
+
+/// Blocks per segment (0-based block indices).
+const SEG_BLOCKS: [std::ops::Range<usize>; 4] = [0..3, 3..6, 6..13, 13..17];
+
+/// Number of trunk segments.
+pub const MAX_DEPTH: usize = 4;
+
+fn inverted_residual(name: &str, in_c: usize, out_c: usize, t: usize, stride: usize) -> Block {
+    let hidden = in_c * t;
+    let mut main = Vec::new();
+    if t > 1 {
+        main.push(Block::Conv(ConvSpec::dense(
+            format!("{name}.expand"),
+            in_c,
+            hidden,
+            1,
+            1,
+            0,
+            true,
+            true,
+        )));
+    }
+    main.push(Block::Conv(ConvSpec::depthwise(
+        format!("{name}.dw"),
+        hidden,
+        3,
+        stride,
+        1,
+        true,
+        true,
+    )));
+    main.push(Block::Conv(ConvSpec::dense(
+        format!("{name}.project"),
+        hidden,
+        out_c,
+        1,
+        1,
+        0,
+        true,
+        false,
+    )));
+    if stride == 1 && in_c == out_c {
+        Block::LinearResidual { main }
+    } else {
+        // No skip when the shape changes (standard MobileNetV2).
+        Block::Residual {
+            main,
+            shortcut: Some(vec![Block::Conv(ConvSpec::dense(
+                format!("{name}.down"),
+                in_c,
+                out_c,
+                1,
+                stride,
+                0,
+                true,
+                false,
+            ))]),
+        }
+    }
+}
+
+/// Builds a MobileNetV2 blueprint.
+///
+/// # Panics
+///
+/// Panics if `plan` does not have 19 units or `depth` is out of range.
+pub fn mobilenet_v2(
+    input: (usize, usize, usize),
+    classes: usize,
+    plan: &WidthPlan,
+    depth: usize,
+    aux_exits: bool,
+) -> Blueprint {
+    assert_eq!(plan.len(), BASE_WIDTHS.len(), "MobileNetV2 plan needs 19 units");
+    assert!((1..=MAX_DEPTH).contains(&depth), "depth must be 1..=4");
+    let (in_c, _, _) = input;
+
+    let mut segments = Vec::with_capacity(depth);
+    let mut exits = Vec::with_capacity(depth);
+    let mut prev_c = plan.width(0);
+
+    for (si, range) in SEG_BLOCKS.iter().take(depth).enumerate() {
+        let mut seg = Vec::new();
+        if si == 0 {
+            seg.push(Block::Conv(ConvSpec::dense(
+                "stem", in_c, prev_c, 3, 1, 1, true, true,
+            )));
+        }
+        for b in range.clone() {
+            let out_c = plan.width(b + 1);
+            seg.push(inverted_residual(
+                &format!("block{b}"),
+                prev_c,
+                out_c,
+                EXPANSIONS[b],
+                STRIDES[b],
+            ));
+            prev_c = out_c;
+        }
+        let is_last_seg = si + 1 == depth;
+        if is_last_seg && depth == MAX_DEPTH {
+            let last_c = plan.width(18);
+            seg.push(Block::Conv(ConvSpec::dense(
+                "last", prev_c, last_c, 1, 1, 0, true, true,
+            )));
+            prev_c = last_c;
+        }
+        segments.push(seg);
+
+        // "classifier" is reserved for the true final segment so
+        // depth-truncated submodels share exit heads with the full model.
+        let head_name = if si + 1 == MAX_DEPTH {
+            "classifier".to_string()
+        } else {
+            format!("exit{si}.fc")
+        };
+        exits.push(vec![
+            Block::GlobalAvgPool,
+            Block::Linear(LinearSpec {
+                name: head_name,
+                in_f: prev_c,
+                out_f: classes,
+                relu: false,
+            }),
+        ]);
+    }
+
+    let active_exits = if aux_exits {
+        (0..depth).collect()
+    } else {
+        vec![depth - 1]
+    };
+    let bp = Blueprint { segments, exits, active_exits };
+    bp.validate();
+    bp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::cost_of;
+    use crate::plan::{PruneSpec, WidthPlan};
+
+    #[test]
+    fn full_mobilenet_param_count_is_plausible() {
+        // Torchvision MobileNetV2 (1000 classes) has 3.5M params; with
+        // 22 classes and our shortcut handling we expect 2.2–3.2M.
+        let plan = WidthPlan::full(&BASE_WIDTHS);
+        let bp = mobilenet_v2((3, 32, 32), 22, &plan, 4, false);
+        let c = cost_of(&bp, (3, 32, 32));
+        let m = c.params as f64 / 1e6;
+        assert!((2.0..3.6).contains(&m), "params {m}M");
+    }
+
+    #[test]
+    fn pruned_plan_is_shape_consistent() {
+        for start in [0usize, 4, 9, 14] {
+            let plan = WidthPlan::from_spec(&BASE_WIDTHS, &PruneSpec::new(0.4, start));
+            let bp = mobilenet_v2((3, 32, 32), 22, &plan, 4, false);
+            let _ = cost_of(&bp, (3, 32, 32)); // validates shapes
+        }
+    }
+
+    #[test]
+    fn depthwise_macs_are_much_cheaper_than_dense() {
+        let plan = WidthPlan::full(&BASE_WIDTHS);
+        let bp = mobilenet_v2((3, 32, 32), 22, &plan, 4, false);
+        let c = cost_of(&bp, (3, 32, 32));
+        // A dense 3×3 conv stack of this size would be >1 GMAC; the
+        // depthwise design keeps it well under 400 MMACs at 32×32.
+        assert!(c.macs < 400_000_000, "macs {}", c.macs);
+    }
+
+    #[test]
+    fn reduced_depth_with_aux_exits() {
+        let plan = WidthPlan::full(&BASE_WIDTHS);
+        let bp = mobilenet_v2((3, 16, 16), 22, &plan, 2, true);
+        assert_eq!(bp.active_exits, vec![0, 1]);
+        let _ = cost_of(&bp, (3, 16, 16));
+    }
+}

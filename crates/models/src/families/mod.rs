@@ -1,0 +1,17 @@
+//! Architecture families: VGG16, ResNet18, MobileNetV2 and the fast
+//! `TinyCnn` used by reduced-scale experiments.
+//!
+//! Each family is a function from `(config, width plan, depth, aux
+//! exits)` to a [`Blueprint`](crate::block::Blueprint); the blueprint is
+//! the single source of truth for the executable network, the parameter
+//! shape table, and the cost model.
+
+pub mod mobilenet;
+pub mod resnet;
+pub mod tiny;
+pub mod vgg;
+
+pub use mobilenet::mobilenet_v2;
+pub use resnet::resnet18;
+pub use tiny::tiny_cnn;
+pub use vgg::vgg16;

@@ -1,0 +1,172 @@
+//! ResNet18 (CIFAR-style stem) with width pruning at basic-block
+//! granularity.
+//!
+//! Prunable units (1-based): unit 1 is the stem conv, units 2–9 are the
+//! eight basic blocks (each block's two convs share the unit width).
+
+use crate::block::{Block, Blueprint, ConvSpec, LinearSpec};
+use crate::plan::WidthPlan;
+
+/// Base widths: stem + 8 basic blocks.
+pub const BASE_WIDTHS: [usize; 9] = [64, 64, 64, 128, 128, 256, 256, 512, 512];
+
+/// Number of trunk segments (stem+stage1, stage2, stage3, stage4).
+pub const MAX_DEPTH: usize = 4;
+
+/// Stride of each basic block (1-based blocks 1..=8).
+const BLOCK_STRIDES: [usize; 8] = [1, 1, 2, 1, 2, 1, 2, 1];
+
+/// Blocks per segment: segment 0 holds the stem and blocks 1–2.
+const SEG_BLOCKS: [std::ops::Range<usize>; 4] = [0..2, 2..4, 4..6, 6..8];
+
+fn basic_block(name: &str, in_c: usize, out_c: usize, stride: usize) -> Block {
+    let main = vec![
+        Block::Conv(ConvSpec::dense(
+            format!("{name}.conv1"),
+            in_c,
+            out_c,
+            3,
+            stride,
+            1,
+            true,
+            true,
+        )),
+        Block::Conv(ConvSpec::dense(
+            format!("{name}.conv2"),
+            out_c,
+            out_c,
+            3,
+            1,
+            1,
+            true,
+            false,
+        )),
+    ];
+    let shortcut = (stride != 1 || in_c != out_c).then(|| {
+        vec![Block::Conv(ConvSpec::dense(
+            format!("{name}.down"),
+            in_c,
+            out_c,
+            1,
+            stride,
+            0,
+            true,
+            false,
+        ))]
+    });
+    Block::Residual { main, shortcut }
+}
+
+/// Builds a ResNet18 blueprint.
+///
+/// # Panics
+///
+/// Panics if `plan` does not have 9 units or `depth` is out of range.
+pub fn resnet18(
+    input: (usize, usize, usize),
+    classes: usize,
+    plan: &WidthPlan,
+    depth: usize,
+    aux_exits: bool,
+) -> Blueprint {
+    assert_eq!(plan.len(), BASE_WIDTHS.len(), "ResNet18 plan needs 9 units");
+    assert!((1..=MAX_DEPTH).contains(&depth), "depth must be 1..=4");
+    let (in_c, _, _) = input;
+
+    let mut segments = Vec::with_capacity(depth);
+    let mut exits = Vec::with_capacity(depth);
+    let mut prev_c = plan.width(0);
+
+    for (si, range) in SEG_BLOCKS.iter().take(depth).enumerate() {
+        let mut seg = Vec::new();
+        if si == 0 {
+            seg.push(Block::Conv(ConvSpec::dense(
+                "stem", in_c, prev_c, 3, 1, 1, true, true,
+            )));
+        }
+        for b in range.clone() {
+            let out_c = plan.width(b + 1);
+            seg.push(basic_block(&format!("layer{b}"), prev_c, out_c, BLOCK_STRIDES[b]));
+            prev_c = out_c;
+        }
+        segments.push(seg);
+
+        // The name "classifier" is reserved for the family's true final
+        // segment so depth-truncated submodels share their exit head with
+        // the full multi-exit model.
+        let head_name = if si + 1 == MAX_DEPTH {
+            "classifier".to_string()
+        } else {
+            format!("exit{si}.fc")
+        };
+        exits.push(vec![
+            Block::GlobalAvgPool,
+            Block::Linear(LinearSpec {
+                name: head_name,
+                in_f: prev_c,
+                out_f: classes,
+                relu: false,
+            }),
+        ]);
+    }
+
+    let active_exits = if aux_exits {
+        (0..depth).collect()
+    } else {
+        vec![depth - 1]
+    };
+    let bp = Blueprint { segments, exits, active_exits };
+    bp.validate();
+    bp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::cost_of;
+    use crate::plan::{PruneSpec, WidthPlan};
+
+    #[test]
+    fn full_resnet18_param_count_is_standard() {
+        // CIFAR ResNet18 ≈ 11.17M trainable params; ours counts BN
+        // running stats too (+~0.02M).
+        let plan = WidthPlan::full(&BASE_WIDTHS);
+        let bp = resnet18((3, 32, 32), 10, &plan, 4, false);
+        let c = cost_of(&bp, (3, 32, 32));
+        let m = c.params as f64 / 1e6;
+        assert!((m - 11.19).abs() < 0.15, "params {m}M");
+    }
+
+    #[test]
+    fn pruned_plan_shrinks_model() {
+        let full = WidthPlan::full(&BASE_WIDTHS);
+        let half = WidthPlan::from_spec(&BASE_WIDTHS, &PruneSpec::new(0.5, 0));
+        let cf = cost_of(&resnet18((3, 32, 32), 10, &full, 4, false), (3, 32, 32));
+        let ch = cost_of(&resnet18((3, 32, 32), 10, &half, 4, false), (3, 32, 32));
+        let ratio = ch.params as f64 / cf.params as f64;
+        assert!((ratio - 0.25).abs() < 0.03, "ratio {ratio}");
+    }
+
+    #[test]
+    fn boundary_block_gets_projection_shortcut() {
+        // Pruning from unit 5 on makes block 4→5 change width, which
+        // must introduce a projection shortcut; cost_of validates the
+        // resulting shapes.
+        let plan = WidthPlan::from_spec(&BASE_WIDTHS, &PruneSpec::new(0.4, 4));
+        let bp = resnet18((3, 32, 32), 10, &plan, 4, false);
+        let _ = cost_of(&bp, (3, 32, 32));
+        assert!(bp
+            .shapes()
+            .iter()
+            .any(|(n, _, _)| n == "layer3.down.weight"));
+    }
+
+    #[test]
+    fn depth_two_has_two_segments() {
+        let plan = WidthPlan::full(&BASE_WIDTHS);
+        let bp = resnet18((3, 32, 32), 10, &plan, 2, true);
+        assert_eq!(bp.segments.len(), 2);
+        assert_eq!(bp.active_exits, vec![0, 1]);
+        let _ = cost_of(&bp, (3, 32, 32));
+    }
+}

@@ -1,0 +1,128 @@
+//! `TinyCnn` — a small four-conv network used by the reduced-scale
+//! training experiments (fast enough for CPU-only federated runs while
+//! preserving the width-pruning structure of the large models).
+//!
+//! Prunable units (1-based): the four conv layers.
+
+use crate::block::{Block, Blueprint, ConvSpec, LinearSpec};
+use crate::plan::WidthPlan;
+
+/// Base widths of the four conv units.
+pub const BASE_WIDTHS: [usize; 4] = [16, 32, 32, 64];
+
+/// Number of trunk segments.
+pub const MAX_DEPTH: usize = 3;
+
+/// Builds a TinyCnn blueprint: conv-conv-pool | conv-pool | conv, each
+/// segment followed by a GAP+Linear exit head.
+///
+/// # Panics
+///
+/// Panics if `plan` does not have 4 units or `depth` is out of range.
+pub fn tiny_cnn(
+    input: (usize, usize, usize),
+    classes: usize,
+    plan: &WidthPlan,
+    depth: usize,
+    aux_exits: bool,
+) -> Blueprint {
+    assert_eq!(plan.len(), BASE_WIDTHS.len(), "TinyCnn plan needs 4 units");
+    assert!((1..=MAX_DEPTH).contains(&depth), "depth must be 1..=3");
+    let (in_c, mut h, mut w) = input;
+
+    let conv = |unit: usize, in_c: usize, out_c: usize| {
+        Block::Conv(ConvSpec::dense(
+            format!("conv{unit}"),
+            in_c,
+            out_c,
+            3,
+            1,
+            1,
+            false,
+            true,
+        ))
+    };
+
+    // Segment layouts: unit indices per segment.
+    let seg_units: [&[usize]; 3] = [&[0, 1], &[2], &[3]];
+    let mut segments = Vec::with_capacity(depth);
+    let mut exits = Vec::with_capacity(depth);
+    let mut prev_c = in_c;
+
+    for (si, units) in seg_units.iter().take(depth).enumerate() {
+        let mut seg = Vec::new();
+        for &u in *units {
+            let out_c = plan.width(u);
+            seg.push(conv(u, prev_c, out_c));
+            prev_c = out_c;
+        }
+        if si < 2 && h % 2 == 0 && w % 2 == 0 && h >= 2 {
+            seg.push(Block::MaxPool(2));
+            h /= 2;
+            w /= 2;
+        }
+        segments.push(seg);
+
+        // "classifier" is reserved for the true final segment so
+        // depth-truncated submodels share exit heads with the full model.
+        let head_name = if si + 1 == MAX_DEPTH {
+            "classifier".to_string()
+        } else {
+            format!("exit{si}.fc")
+        };
+        exits.push(vec![
+            Block::GlobalAvgPool,
+            Block::Linear(LinearSpec {
+                name: head_name,
+                in_f: prev_c,
+                out_f: classes,
+                relu: false,
+            }),
+        ]);
+    }
+
+    let active_exits = if aux_exits {
+        (0..depth).collect()
+    } else {
+        vec![depth - 1]
+    };
+    let bp = Blueprint { segments, exits, active_exits };
+    bp.validate();
+    bp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::cost_of;
+    use crate::plan::{PruneSpec, WidthPlan};
+
+    #[test]
+    fn tiny_cnn_is_small() {
+        let plan = WidthPlan::full(&BASE_WIDTHS);
+        let bp = tiny_cnn((3, 16, 16), 10, &plan, 3, false);
+        let c = cost_of(&bp, (3, 16, 16));
+        assert!(c.params < 60_000, "params {}", c.params);
+        assert!(c.macs < 5_000_000, "macs {}", c.macs);
+    }
+
+    #[test]
+    fn pruned_versions_nest() {
+        let full = WidthPlan::full(&BASE_WIDTHS);
+        let small = WidthPlan::from_spec(&BASE_WIDTHS, &PruneSpec::new(0.4, 1));
+        assert!(small.nested_in(&full));
+        let bp = tiny_cnn((3, 16, 16), 10, &small, 3, false);
+        let _ = cost_of(&bp, (3, 16, 16));
+    }
+
+    #[test]
+    fn all_depths_are_consistent() {
+        let plan = WidthPlan::full(&BASE_WIDTHS);
+        for depth in 1..=3 {
+            for aux in [false, true] {
+                let bp = tiny_cnn((3, 16, 16), 10, &plan, depth, aux);
+                let _ = cost_of(&bp, (3, 16, 16));
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! VGG16 with a CIFAR-style two-4096-FC classifier — the architecture
+//! of the paper's Table 1.
+//!
+//! Prunable units (1-based, the index space of the paper's `I`):
+//! units 1–13 are the conv layers, units 14–15 are the two hidden FC
+//! layers. The output classifier layer is never pruned.
+
+use crate::block::{Block, Blueprint, ConvSpec, LinearSpec};
+use crate::plan::WidthPlan;
+
+/// Conv layers per stage; a 2×2 max-pool follows each stage while the
+/// spatial size allows it.
+pub const STAGE_CONVS: [usize; 5] = [2, 2, 3, 3, 3];
+
+/// Base channel widths of the 13 conv units followed by the 2 hidden FC
+/// units.
+pub const BASE_WIDTHS: [usize; 15] = [
+    64, 64, 128, 128, 256, 256, 256, 512, 512, 512, 512, 512, 512, 4096, 4096,
+];
+
+/// Number of trunk segments (one per conv stage).
+pub const MAX_DEPTH: usize = 5;
+
+/// Builds a VGG16 blueprint.
+///
+/// * `input` — `(channels, h, w)` of the input image.
+/// * `classes` — output classes.
+/// * `plan` — widths of the 15 prunable units.
+/// * `depth` — trunk segments kept (1..=5); the two FC units exist only
+///   at full depth.
+/// * `aux_exits` — instantiate a GAP+Linear exit after every kept
+///   segment (ScaleFL).
+/// * `bn` — attach batch-norm to every conv (the paper's Table 1 counts
+///   match `bn = false`).
+///
+/// # Panics
+///
+/// Panics if `plan` does not have 15 units or `depth` is out of range.
+#[allow(clippy::too_many_arguments)]
+pub fn vgg16(
+    input: (usize, usize, usize),
+    classes: usize,
+    plan: &WidthPlan,
+    depth: usize,
+    aux_exits: bool,
+    bn: bool,
+) -> Blueprint {
+    assert_eq!(plan.len(), BASE_WIDTHS.len(), "VGG16 plan needs 15 units");
+    assert!((1..=MAX_DEPTH).contains(&depth), "depth must be 1..=5");
+
+    let (in_c, mut h, mut w) = input;
+    let mut segments = Vec::with_capacity(depth);
+    let mut exits = Vec::with_capacity(depth);
+    let mut prev_c = in_c;
+    let mut unit = 0usize; // 0-based index into the plan
+
+    for (stage, &n_convs) in STAGE_CONVS.iter().take(depth).enumerate() {
+        let mut seg = Vec::new();
+        for _ in 0..n_convs {
+            let out_c = plan.width(unit);
+            seg.push(Block::Conv(ConvSpec::dense(
+                format!("features.{unit}"),
+                prev_c,
+                out_c,
+                3,
+                1,
+                1,
+                bn,
+                true,
+            )));
+            prev_c = out_c;
+            unit += 1;
+        }
+        if h >= 2 && w >= 2 && h % 2 == 0 && w % 2 == 0 {
+            seg.push(Block::MaxPool(2));
+            h /= 2;
+            w /= 2;
+        }
+        segments.push(seg);
+
+        let is_last = stage + 1 == depth;
+        if is_last && depth == MAX_DEPTH {
+            // Full-depth classifier: flatten + fc1 + fc2 + output.
+            let flat = prev_c * h * w;
+            let fc1 = plan.width(13);
+            let fc2 = plan.width(14);
+            exits.push(vec![
+                Block::Flatten,
+                Block::Linear(LinearSpec {
+                    name: "classifier.0".into(),
+                    in_f: flat,
+                    out_f: fc1,
+                    relu: true,
+                }),
+                Block::Linear(LinearSpec {
+                    name: "classifier.1".into(),
+                    in_f: fc1,
+                    out_f: fc2,
+                    relu: true,
+                }),
+                Block::Linear(LinearSpec {
+                    name: "classifier.2".into(),
+                    in_f: fc2,
+                    out_f: classes,
+                    relu: false,
+                }),
+            ]);
+        } else {
+            exits.push(vec![
+                Block::GlobalAvgPool,
+                Block::Linear(LinearSpec {
+                    name: format!("exit{stage}.fc"),
+                    in_f: prev_c,
+                    out_f: classes,
+                    relu: false,
+                }),
+            ]);
+        }
+    }
+
+    let active_exits = if aux_exits {
+        (0..depth).collect()
+    } else {
+        vec![depth - 1]
+    };
+    let bp = Blueprint { segments, exits, active_exits };
+    bp.validate();
+    bp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::cost_of;
+    use crate::plan::PruneSpec;
+
+    fn full_plan() -> WidthPlan {
+        WidthPlan::full(&BASE_WIDTHS)
+    }
+
+    #[test]
+    fn full_vgg16_matches_paper_table1_l1() {
+        // Paper Table 1: L1 has 33.65M params and 333.22M FLOPs.
+        let bp = vgg16((3, 32, 32), 10, &full_plan(), 5, false, false);
+        let c = cost_of(&bp, (3, 32, 32));
+        let params_m = c.params as f64 / 1e6;
+        let macs_m = c.macs as f64 / 1e6;
+        assert!((params_m - 33.65).abs() < 0.05, "params {params_m}M");
+        assert!((macs_m - 333.22).abs() < 1.5, "macs {macs_m}M");
+    }
+
+    #[test]
+    fn m1_ratio_matches_paper() {
+        // M1: r_w = 0.66, I = 8 → 16.81M params (ratio 0.50).
+        let plan = WidthPlan::from_spec(&BASE_WIDTHS, &PruneSpec::new(0.66, 8));
+        let bp = vgg16((3, 32, 32), 10, &plan, 5, false, false);
+        let c = cost_of(&bp, (3, 32, 32));
+        let ratio = c.params as f64 / 33.65e6;
+        assert!((ratio - 0.50).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn s1_ratio_matches_paper() {
+        // S1: r_w = 0.40, I = 8 → 8.39M params (ratio 0.25).
+        let plan = WidthPlan::from_spec(&BASE_WIDTHS, &PruneSpec::new(0.40, 8));
+        let bp = vgg16((3, 32, 32), 10, &plan, 5, false, false);
+        let c = cost_of(&bp, (3, 32, 32));
+        let ratio = c.params as f64 / 33.65e6;
+        assert!((ratio - 0.25).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn small_input_skips_late_pools() {
+        // 16×16 input: only 4 pools fit; the architecture must still
+        // be shape-consistent (cost_of validates).
+        let bp = vgg16((3, 16, 16), 10, &full_plan(), 5, false, false);
+        let _ = cost_of(&bp, (3, 16, 16));
+    }
+
+    #[test]
+    fn aux_exits_add_heads() {
+        let bp = vgg16((3, 32, 32), 10, &full_plan(), 5, true, false);
+        assert_eq!(bp.active_exits, vec![0, 1, 2, 3, 4]);
+        let plain = vgg16((3, 32, 32), 10, &full_plan(), 5, false, false);
+        assert!(bp.num_params() > plain.num_params());
+    }
+
+    #[test]
+    fn truncated_depth_uses_gap_head() {
+        let bp = vgg16((3, 32, 32), 10, &full_plan(), 3, false, false);
+        assert_eq!(bp.segments.len(), 3);
+        // No classifier.* params at reduced depth.
+        assert!(bp.shapes().iter().all(|(n, _, _)| !n.starts_with("classifier")));
+    }
+}

@@ -1,0 +1,312 @@
+//! 2-D batch normalisation.
+//!
+//! Running statistics are exposed as (non-trainable) named parameters so
+//! the federated aggregation can average them across clients exactly as
+//! HeteroFL-style systems do.
+
+use adaptivefl_tensor::Tensor;
+
+use crate::layer::{join_name, Layer, ParamKind, ParamVisitor, ParamVisitorMut};
+
+/// Batch normalisation over the channel axis of NCHW input.
+///
+/// Training mode normalises with batch statistics and updates the
+/// running estimates; evaluation mode uses the running estimates.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Tensor,
+    beta: Tensor,
+    dgamma: Tensor,
+    dbeta: Tensor,
+    running_mean: Tensor,
+    running_var: Tensor,
+    /// Exponential-moving-average momentum of the running statistics.
+    momentum: f32,
+    eps: f32,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    in_shape: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates batch-norm for `c` channels with γ=1, β=0.
+    pub fn new(c: usize) -> Self {
+        BatchNorm2d {
+            gamma: Tensor::ones(&[c]),
+            beta: Tensor::zeros(&[c]),
+            dgamma: Tensor::zeros(&[c]),
+            dbeta: Tensor::zeros(&[c]),
+            running_mean: Tensor::zeros(&[c]),
+            running_var: Tensor::ones(&[c]),
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.gamma.numel()
+    }
+}
+
+impl Layer for BatchNorm2d {
+    #[allow(clippy::needless_range_loop)] // per-channel loops index several buffers at once
+    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
+        let s = x.shape().to_vec();
+        assert_eq!(s.len(), 4, "BatchNorm2d expects NCHW");
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        assert_eq!(c, self.channels(), "BatchNorm2d channel mismatch");
+        let cnt = (n * h * w) as f32;
+        let xv = x.as_slice();
+
+        let (mean, var): (Vec<f32>, Vec<f32>) = if train {
+            let mut mean = vec![0.0f32; c];
+            let mut var = vec![0.0f32; c];
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = (ni * c + ci) * h * w;
+                    for &v in &xv[base..base + h * w] {
+                        mean[ci] += v;
+                    }
+                }
+            }
+            for m in &mut mean {
+                *m /= cnt;
+            }
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = (ni * c + ci) * h * w;
+                    for &v in &xv[base..base + h * w] {
+                        let d = v - mean[ci];
+                        var[ci] += d * d;
+                    }
+                }
+            }
+            for v in &mut var {
+                *v /= cnt;
+            }
+            // Update running stats.
+            for ci in 0..c {
+                let rm = &mut self.running_mean.as_mut_slice()[ci];
+                *rm = (1.0 - self.momentum) * *rm + self.momentum * mean[ci];
+                let rv = &mut self.running_var.as_mut_slice()[ci];
+                *rv = (1.0 - self.momentum) * *rv + self.momentum * var[ci];
+            }
+            (mean, var)
+        } else {
+            (
+                self.running_mean.as_slice().to_vec(),
+                self.running_var.as_slice().to_vec(),
+            )
+        };
+
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut x_hat = vec![0.0f32; xv.len()];
+        let mut y = vec![0.0f32; xv.len()];
+        let g = self.gamma.as_slice();
+        let b = self.beta.as_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                for i in base..base + h * w {
+                    let xh = (xv[i] - mean[ci]) * inv_std[ci];
+                    x_hat[i] = xh;
+                    y[i] = g[ci] * xh + b[ci];
+                }
+            }
+        }
+        if train {
+            self.cache = Some(BnCache {
+                x_hat: Tensor::from_vec(x_hat, &s),
+                inv_std,
+                in_shape: s.clone(),
+            });
+        }
+        Tensor::from_vec(y, &s)
+    }
+
+    fn backward(&mut self, dy: Tensor) -> Tensor {
+        let cache = self.cache.take().expect("batchnorm backward without forward");
+        let s = cache.in_shape.clone();
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let cnt = (n * h * w) as f32;
+        let dyv = dy.as_slice();
+        let xh = cache.x_hat.as_slice();
+
+        let mut sum_dy = vec![0.0f32; c];
+        let mut sum_dy_xh = vec![0.0f32; c];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                for i in base..base + h * w {
+                    sum_dy[ci] += dyv[i];
+                    sum_dy_xh[ci] += dyv[i] * xh[i];
+                }
+            }
+        }
+        for ci in 0..c {
+            self.dbeta.as_mut_slice()[ci] += sum_dy[ci];
+            self.dgamma.as_mut_slice()[ci] += sum_dy_xh[ci];
+        }
+
+        let g = self.gamma.as_slice();
+        let mut dx = vec![0.0f32; dyv.len()];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                let k = g[ci] * cache.inv_std[ci] / cnt;
+                for i in base..base + h * w {
+                    dx[i] = k * (cnt * dyv[i] - sum_dy[ci] - xh[i] * sum_dy_xh[ci]);
+                }
+            }
+        }
+        Tensor::from_vec(dx, &s)
+    }
+
+    fn visit_params(&self, prefix: &str, v: &mut dyn ParamVisitor) {
+        v.visit(&join_name(prefix, "gamma"), ParamKind::Gamma, &self.gamma, &self.dgamma);
+        v.visit(&join_name(prefix, "beta"), ParamKind::Beta, &self.beta, &self.dbeta);
+        v.visit(
+            &join_name(prefix, "running_mean"),
+            ParamKind::RunningMean,
+            &self.running_mean,
+            &self.dgamma, // grad slot unused for running stats
+        );
+        v.visit(
+            &join_name(prefix, "running_var"),
+            ParamKind::RunningVar,
+            &self.running_var,
+            &self.dbeta,
+        );
+    }
+
+    fn visit_params_mut(&mut self, prefix: &str, v: &mut dyn ParamVisitorMut) {
+        v.visit(&join_name(prefix, "gamma"), ParamKind::Gamma, &mut self.gamma, &mut self.dgamma);
+        v.visit(&join_name(prefix, "beta"), ParamKind::Beta, &mut self.beta, &mut self.dbeta);
+        // Running statistics get dummy grad slots; the optimizer skips
+        // non-trainable kinds.
+        let mut dummy_m = Tensor::zeros(&[self.running_mean.numel()]);
+        let mut dummy_v = Tensor::zeros(&[self.running_var.numel()]);
+        v.visit(
+            &join_name(prefix, "running_mean"),
+            ParamKind::RunningMean,
+            &mut self.running_mean,
+            &mut dummy_m,
+        );
+        v.visit(
+            &join_name(prefix, "running_var"),
+            ParamKind::RunningVar,
+            &mut self.running_var,
+            &mut dummy_v,
+        );
+    }
+
+    fn zero_grads(&mut self) {
+        self.dgamma.fill(0.0);
+        self.dbeta.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptivefl_tensor::{init, rng};
+
+    #[test]
+    fn train_output_is_normalised() {
+        let mut r = rng::seeded(6);
+        let mut bn = BatchNorm2d::new(3);
+        let x = init::normal(&[4, 3, 5, 5], 3.0, &mut r)
+            .map(|v| v + 10.0);
+        let y = bn.forward(x, true);
+        // Per-channel mean ≈ 0, std ≈ 1.
+        let (n, c, h, w) = (4, 3, 5, 5);
+        for ci in 0..c {
+            let mut vals = Vec::new();
+            for ni in 0..n {
+                let base = (ni * c + ci) * h * w;
+                vals.extend_from_slice(&y.as_slice()[base..base + h * w]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-3, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        // Without any training, running stats are (0, 1): identity.
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let y = bn.forward(x.clone(), false);
+        for (a, b) in x.as_slice().iter().zip(y.as_slice()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_differences_on_gamma() {
+        let mut r = rng::seeded(7);
+        let mut bn = BatchNorm2d::new(2);
+        let x = init::normal(&[2, 2, 3, 3], 1.0, &mut r);
+        let y = bn.forward(x.clone(), true);
+        let _ = bn.backward(Tensor::ones(y.shape()));
+        let ana = bn.dgamma.clone();
+
+        let eps = 1e-2f32;
+        for ci in 0..2 {
+            let orig = bn.gamma.as_slice()[ci];
+            bn.gamma.as_mut_slice()[ci] = orig + eps;
+            let lp = bn.forward(x.clone(), true).sum();
+            bn.gamma.as_mut_slice()[ci] = orig - eps;
+            let lm = bn.forward(x.clone(), true).sum();
+            bn.gamma.as_mut_slice()[ci] = orig;
+            bn.cache = None;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - ana.as_slice()[ci]).abs() < 0.05 * (1.0 + ana.as_slice()[ci].abs()),
+                "dgamma[{ci}]: {num} vs {}",
+                ana.as_slice()[ci]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_dx_sums_to_zero_per_channel() {
+        // BN output is invariant to a constant shift of the batch, so
+        // the per-channel sum of dx must vanish.
+        let mut r = rng::seeded(8);
+        let mut bn = BatchNorm2d::new(2);
+        let x = init::normal(&[3, 2, 4, 4], 1.0, &mut r);
+        let y = bn.forward(x, true);
+        let dy = init::normal(y.shape(), 1.0, &mut r);
+        let dx = bn.backward(dy);
+        let (n, c, h, w) = (3, 2, 4, 4);
+        for ci in 0..c {
+            let mut s = 0.0f32;
+            for ni in 0..n {
+                let base = (ni * c + ci) * h * w;
+                s += dx.as_slice()[base..base + h * w].iter().sum::<f32>();
+            }
+            assert!(s.abs() < 1e-2, "channel {ci} dx sum {s}");
+        }
+    }
+
+    #[test]
+    fn exposes_running_stats_as_params() {
+        let bn = BatchNorm2d::new(4);
+        let mut names = Vec::new();
+        bn.visit_params("bn", &mut |n: &str, k: ParamKind, _: &Tensor, _: &Tensor| {
+            names.push((n.to_string(), k));
+        });
+        assert_eq!(names.len(), 4);
+        assert!(names.iter().any(|(n, k)| n == "bn.running_mean" && !k.is_trainable()));
+    }
+}

@@ -1,0 +1,226 @@
+//! Depthwise 2-D convolution (one filter per channel), needed by
+//! MobileNetV2's inverted residual blocks.
+
+use adaptivefl_tensor::{init, Tensor};
+use rand::Rng;
+
+use crate::layer::{join_name, Layer, ParamKind, ParamVisitor, ParamVisitorMut};
+
+/// Depthwise convolution: channel `c` of the output is the correlation
+/// of channel `c` of the input with its own `k×k` filter. Weight shape
+/// is `[c, 1, k, k]` so the channel axis is the leading axis, exactly
+/// like a dense conv — which keeps prefix-slice width pruning uniform.
+#[derive(Debug)]
+pub struct DepthwiseConv2d {
+    weight: Tensor,
+    bias: Tensor,
+    dweight: Tensor,
+    dbias: Tensor,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    cache: Option<Tensor>,
+}
+
+impl DepthwiseConv2d {
+    /// Creates a depthwise convolution over `c` channels with a `k×k`
+    /// kernel.
+    pub fn new(c: usize, k: usize, stride: usize, pad: usize, rng: &mut impl Rng) -> Self {
+        let shape = [c, 1, k, k];
+        DepthwiseConv2d {
+            weight: init::kaiming_uniform(&shape, k * k, rng),
+            bias: Tensor::zeros(&[c]),
+            dweight: Tensor::zeros(&shape),
+            dbias: Tensor::zeros(&[c]),
+            k,
+            stride,
+            pad,
+            cache: None,
+        }
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.weight.shape()[0]
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            (h + 2 * self.pad - self.k) / self.stride + 1,
+            (w + 2 * self.pad - self.k) / self.stride + 1,
+        )
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.len(), 4, "depthwise conv expects NCHW");
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        assert_eq!(c, self.channels(), "depthwise channel mismatch");
+        let (oh, ow) = self.out_hw(h, w);
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        let xv = x.as_slice();
+        let wv = self.weight.as_slice();
+        let bv = self.bias.as_slice();
+        let kk = self.k * self.k;
+        for ni in 0..n {
+            for ci in 0..c {
+                let xin = &xv[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
+                let ker = &wv[ci * kk..(ci + 1) * kk];
+                let dst = &mut out[(ni * c + ci) * oh * ow..(ni * c + ci + 1) * oh * ow];
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let mut acc = bv[ci];
+                        for ki in 0..self.k {
+                            let ii = (oi * self.stride + ki) as isize - self.pad as isize;
+                            if ii < 0 || ii as usize >= h {
+                                continue;
+                            }
+                            for kj in 0..self.k {
+                                let jj = (oj * self.stride + kj) as isize - self.pad as isize;
+                                if jj < 0 || jj as usize >= w {
+                                    continue;
+                                }
+                                acc += ker[ki * self.k + kj] * xin[ii as usize * w + jj as usize];
+                            }
+                        }
+                        dst[oi * ow + oj] = acc;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache = Some(x);
+        }
+        Tensor::from_vec(out, &[n, c, oh, ow])
+    }
+
+    fn backward(&mut self, dy: Tensor) -> Tensor {
+        let x = self.cache.take().expect("depthwise backward without forward");
+        let (n, c, h, w) = (
+            x.shape()[0],
+            x.shape()[1],
+            x.shape()[2],
+            x.shape()[3],
+        );
+        let (oh, ow) = self.out_hw(h, w);
+        let mut dx = vec![0.0f32; n * c * h * w];
+        let xv = x.as_slice();
+        let dyv = dy.as_slice();
+        let wv = self.weight.as_slice();
+        let dwv = self.dweight.as_mut_slice();
+        let dbv = self.dbias.as_mut_slice();
+        let kk = self.k * self.k;
+        for ni in 0..n {
+            for ci in 0..c {
+                let xin = &xv[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
+                let g = &dyv[(ni * c + ci) * oh * ow..(ni * c + ci + 1) * oh * ow];
+                let ker = &wv[ci * kk..(ci + 1) * kk];
+                let dker = &mut dwv[ci * kk..(ci + 1) * kk];
+                let dxi = &mut dx[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let gy = g[oi * ow + oj];
+                        if gy == 0.0 {
+                            continue;
+                        }
+                        dbv[ci] += gy;
+                        for ki in 0..self.k {
+                            let ii = (oi * self.stride + ki) as isize - self.pad as isize;
+                            if ii < 0 || ii as usize >= h {
+                                continue;
+                            }
+                            for kj in 0..self.k {
+                                let jj = (oj * self.stride + kj) as isize - self.pad as isize;
+                                if jj < 0 || jj as usize >= w {
+                                    continue;
+                                }
+                                let xi = ii as usize * w + jj as usize;
+                                dker[ki * self.k + kj] += gy * xin[xi];
+                                dxi[xi] += gy * ker[ki * self.k + kj];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(dx, x.shape())
+    }
+
+    fn visit_params(&self, prefix: &str, v: &mut dyn ParamVisitor) {
+        v.visit(&join_name(prefix, "weight"), ParamKind::Weight, &self.weight, &self.dweight);
+        v.visit(&join_name(prefix, "bias"), ParamKind::Bias, &self.bias, &self.dbias);
+    }
+
+    fn visit_params_mut(&mut self, prefix: &str, v: &mut dyn ParamVisitorMut) {
+        v.visit(
+            &join_name(prefix, "weight"),
+            ParamKind::Weight,
+            &mut self.weight,
+            &mut self.dweight,
+        );
+        v.visit(&join_name(prefix, "bias"), ParamKind::Bias, &mut self.bias, &mut self.dbias);
+    }
+
+    fn zero_grads(&mut self) {
+        self.dweight.fill(0.0);
+        self.dbias.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptivefl_tensor::rng;
+
+    #[test]
+    fn forward_is_per_channel() {
+        let mut r = rng::seeded(30);
+        let mut dw = DepthwiseConv2d::new(2, 1, 1, 0, &mut r);
+        // 1x1 depthwise = per-channel scaling + bias.
+        dw.weight = Tensor::from_vec(vec![2.0, 3.0], &[2, 1, 1, 1]);
+        dw.bias = Tensor::from_vec(vec![0.5, -0.5], &[2]);
+        let x = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0], &[1, 2, 2, 2]);
+        let y = dw.forward(x, false);
+        assert_eq!(y.as_slice(), &[2.5, 2.5, 2.5, 2.5, 5.5, 5.5, 5.5, 5.5]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut r = rng::seeded(31);
+        let mut dw = DepthwiseConv2d::new(2, 3, 1, 1, &mut r);
+        let x = init::normal(&[1, 2, 4, 4], 1.0, &mut r);
+        let y = dw.forward(x.clone(), true);
+        let dx = dw.backward(Tensor::ones(y.shape()));
+        let eps = 1e-2f32;
+        for idx in [0usize, 5, 9, 17] {
+            let orig = dw.weight.as_slice()[idx];
+            dw.weight.as_mut_slice()[idx] = orig + eps;
+            let lp = dw.forward(x.clone(), false).sum();
+            dw.weight.as_mut_slice()[idx] = orig - eps;
+            let lm = dw.forward(x.clone(), false).sum();
+            dw.weight.as_mut_slice()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = dw.dweight.as_slice()[idx];
+            assert!((num - ana).abs() < 0.05 * (1.0 + ana.abs()), "{num} vs {ana}");
+        }
+        for idx in [0usize, 7, 20, 31] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let num = (dw.forward(xp, false).sum() - dw.forward(xm, false).sum()) / (2.0 * eps);
+            let ana = dx.as_slice()[idx];
+            assert!((num - ana).abs() < 0.05 * (1.0 + ana.abs()));
+        }
+    }
+
+    #[test]
+    fn stride_two_halves_output() {
+        let mut r = rng::seeded(32);
+        let mut dw = DepthwiseConv2d::new(3, 3, 2, 1, &mut r);
+        let y = dw.forward(Tensor::zeros(&[1, 3, 8, 8]), false);
+        assert_eq!(y.shape(), &[1, 3, 4, 4]);
+    }
+}

@@ -1,0 +1,18 @@
+//! Concrete layers: convolution, linear, batch-norm, activations,
+//! pooling and shape plumbing.
+
+mod batchnorm;
+mod conv;
+mod depthwise;
+mod flatten;
+mod linear;
+mod pool;
+mod relu;
+
+pub use batchnorm::BatchNorm2d;
+pub use conv::Conv2d;
+pub use depthwise::DepthwiseConv2d;
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use pool::{GlobalAvgPool, MaxPool2d};
+pub use relu::Relu;

@@ -1,0 +1,69 @@
+//! ReLU activation.
+
+use adaptivefl_tensor::Tensor;
+
+use crate::layer::{Layer, ParamVisitor, ParamVisitorMut};
+
+/// Elementwise rectified linear unit.
+///
+/// # Example
+///
+/// ```
+/// use adaptivefl_nn::layers::Relu;
+/// use adaptivefl_nn::layer::Layer;
+/// use adaptivefl_tensor::Tensor;
+///
+/// let mut relu = Relu::new();
+/// let y = relu.forward(Tensor::from_vec(vec![-1.0, 2.0], &[2]), false);
+/// assert_eq!(y.as_slice(), &[0.0, 2.0]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
+        if train {
+            self.mask = Some(x.as_slice().iter().map(|&v| v > 0.0).collect());
+        }
+        x.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, dy: Tensor) -> Tensor {
+        let mask = self.mask.take().expect("relu backward without forward");
+        assert_eq!(mask.len(), dy.numel(), "relu mask size mismatch");
+        let mut dx = dy;
+        for (v, &m) in dx.as_mut_slice().iter_mut().zip(mask.iter()) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&self, _prefix: &str, _v: &mut dyn ParamVisitor) {}
+    fn visit_params_mut(&mut self, _prefix: &str, _v: &mut dyn ParamVisitorMut) {}
+    fn zero_grads(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backward_masks_negative_inputs() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0, -3.0], &[4]);
+        let _ = relu.forward(x, true);
+        let dx = relu.backward(Tensor::ones(&[4]));
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+}

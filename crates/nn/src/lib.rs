@@ -1,0 +1,39 @@
+//! Neural-network substrate: layers with manual backprop, losses, an
+//! SGD optimizer, and the named-parameter map that federated learning
+//! exchanges between server and clients.
+//!
+//! The design is deliberately simple — each [`Layer`]
+//! caches what its backward pass needs during `forward`, and parameters
+//! are addressed by hierarchical string names (`"features.3.weight"`),
+//! which is the identity the AdaptiveFL aggregation algorithm operates
+//! on.
+//!
+//! # Example
+//!
+//! ```
+//! use adaptivefl_nn::layers::{Linear, Relu};
+//! use adaptivefl_nn::{layer::Layer, Sequential};
+//! use adaptivefl_tensor::{rng, Tensor};
+//!
+//! let mut r = rng::seeded(0);
+//! let mut net = Sequential::new(vec![
+//!     Box::new(Linear::new(4, 8, &mut r)),
+//!     Box::new(Relu::new()),
+//!     Box::new(Linear::new(8, 2, &mut r)),
+//! ]);
+//! let x = Tensor::zeros(&[3, 4]);
+//! let y = net.forward(x, false);
+//! assert_eq!(y.shape(), &[3, 2]);
+//! ```
+
+pub mod layer;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod optim;
+pub mod param;
+mod sequential;
+
+pub use layer::{Layer, ParamKind, ParamVisitor, ParamVisitorMut};
+pub use param::ParamMap;
+pub use sequential::Sequential;

@@ -1,0 +1,156 @@
+//! Classification losses: softmax cross-entropy and the distillation
+//! (KL) loss used by the ScaleFL baseline's self-distillation.
+
+use adaptivefl_tensor::ops::{log_softmax_rows, softmax_rows};
+use adaptivefl_tensor::Tensor;
+
+/// Result of a loss evaluation: the scalar loss (mean over the batch)
+/// and the gradient w.r.t. the logits.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Gradient w.r.t. the logits, same shape as the logits.
+    pub dlogits: Tensor,
+}
+
+/// Softmax cross-entropy with integer labels.
+///
+/// `logits` has shape `[n, classes]`; `labels` must have length `n` and
+/// each entry `< classes`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or an out-of-range label.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
+    let s = logits.shape();
+    assert_eq!(s.len(), 2, "logits must be [n, classes]");
+    let (n, k) = (s[0], s[1]);
+    assert_eq!(labels.len(), n, "label count mismatch");
+    let log_p = log_softmax_rows(logits);
+    let mut loss = 0.0f32;
+    let mut dlogits = softmax_rows(logits);
+    let inv_n = 1.0 / n.max(1) as f32;
+    for (r, &y) in labels.iter().enumerate() {
+        assert!(y < k, "label {y} out of range for {k} classes");
+        loss -= log_p.as_slice()[r * k + y];
+        dlogits.as_mut_slice()[r * k + y] -= 1.0;
+    }
+    dlogits.scale(inv_n);
+    LossOutput {
+        loss: loss * inv_n,
+        dlogits,
+    }
+}
+
+/// Distillation loss: temperature-scaled KL divergence
+/// `KL(softmax(t/T) ‖ softmax(s/T)) · T²`, mean over the batch.
+///
+/// Returns the gradient w.r.t. the **student** logits; the teacher is
+/// treated as a constant.
+///
+/// # Panics
+///
+/// Panics if the shapes differ or `temperature <= 0`.
+pub fn distillation_loss(student: &Tensor, teacher: &Tensor, temperature: f32) -> LossOutput {
+    assert_eq!(student.shape(), teacher.shape(), "logit shape mismatch");
+    assert!(temperature > 0.0, "temperature must be positive");
+    let s = student.shape();
+    let (n, k) = (s[0], s[1]);
+    let t_inv = 1.0 / temperature;
+    let st = student.map(|v| v * t_inv);
+    let te = teacher.map(|v| v * t_inv);
+    let log_ps = log_softmax_rows(&st);
+    let log_pt = log_softmax_rows(&te);
+    let pt = log_pt.map(f32::exp);
+    let ps = log_ps.map(f32::exp);
+
+    let inv_n = 1.0 / n.max(1) as f32;
+    let mut loss = 0.0f32;
+    for i in 0..n * k {
+        let p = pt.as_slice()[i];
+        if p > 0.0 {
+            loss += p * (log_pt.as_slice()[i] - log_ps.as_slice()[i]);
+        }
+    }
+    // d/ds of KL(pt ‖ ps(s/T))·T² = T · (ps − pt); the T² compensates
+    // the 1/T from the chain rule (standard Hinton scaling).
+    let mut dlogits = ps.zip_map(&pt, |a, b| (a - b) * temperature);
+    dlogits.scale(inv_n);
+    LossOutput {
+        loss: loss * temperature * temperature * inv_n,
+        dlogits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], &[2, 2]);
+        let out = softmax_cross_entropy(&logits, &[0, 1]);
+        assert!(out.loss < 1e-3);
+        assert!(out.dlogits.sq_norm() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_k() {
+        let logits = Tensor::zeros(&[1, 4]);
+        let out = softmax_cross_entropy(&logits, &[2]);
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(vec![0.3, -0.5, 1.2, 0.1, 0.0, -1.0], &[2, 3]);
+        let labels = [2usize, 0];
+        let out = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let num = (softmax_cross_entropy(&lp, &labels).loss
+                - softmax_cross_entropy(&lm, &labels).loss)
+                / (2.0 * eps);
+            let ana = out.dlogits.as_slice()[idx];
+            assert!((num - ana).abs() < 1e-3, "{num} vs {ana}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_label() {
+        softmax_cross_entropy(&Tensor::zeros(&[1, 3]), &[3]);
+    }
+
+    #[test]
+    fn distillation_zero_when_identical() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let out = distillation_loss(&logits, &logits, 2.0);
+        assert!(out.loss.abs() < 1e-6);
+        assert!(out.dlogits.sq_norm() < 1e-10);
+    }
+
+    #[test]
+    fn distillation_gradient_matches_finite_differences() {
+        let student = Tensor::from_vec(vec![0.2, -0.1, 0.5, 1.0], &[2, 2]);
+        let teacher = Tensor::from_vec(vec![1.0, 0.0, -0.5, 0.5], &[2, 2]);
+        let out = distillation_loss(&student, &teacher, 3.0);
+        let eps = 1e-3f32;
+        for idx in 0..4 {
+            let mut sp = student.clone();
+            sp.as_mut_slice()[idx] += eps;
+            let mut sm = student.clone();
+            sm.as_mut_slice()[idx] -= eps;
+            let num = (distillation_loss(&sp, &teacher, 3.0).loss
+                - distillation_loss(&sm, &teacher, 3.0).loss)
+                / (2.0 * eps);
+            let ana = out.dlogits.as_slice()[idx];
+            assert!((num - ana).abs() < 1e-3, "{num} vs {ana}");
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Sequential container.
+
+use adaptivefl_tensor::Tensor;
+
+use crate::layer::{join_name, Layer, ParamVisitor, ParamVisitorMut};
+
+/// A chain of layers executed in order. Children are named by their
+/// index, so a parameter of the second layer is e.g. `"1.weight"` (or
+/// `"<prefix>.1.weight"` when nested).
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates a sequential container from boxed layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Creates an empty container (use [`Sequential::push`]).
+    pub fn empty() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of child layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Returns `true` if the container has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Runs only the layers in `range` (used by early-exit models).
+    pub fn forward_range(
+        &mut self,
+        x: Tensor,
+        range: std::ops::Range<usize>,
+        train: bool,
+    ) -> Tensor {
+        let mut h = x;
+        for layer in &mut self.layers[range] {
+            h = layer.forward(h, train);
+        }
+        h
+    }
+
+    /// Back-propagates only through the layers in `range`, in reverse.
+    pub fn backward_range(&mut self, dy: Tensor, range: std::ops::Range<usize>) -> Tensor {
+        let mut g = dy;
+        for layer in self.layers[range].iter_mut().rev() {
+            g = layer.backward(g);
+        }
+        g
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} layers)", self.layers.len())
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
+        let n = self.layers.len();
+        self.forward_range(x, 0..n, train)
+    }
+
+    fn backward(&mut self, dy: Tensor) -> Tensor {
+        let n = self.layers.len();
+        self.backward_range(dy, 0..n)
+    }
+
+    fn visit_params(&self, prefix: &str, v: &mut dyn ParamVisitor) {
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.visit_params(&join_name(prefix, &i.to_string()), v);
+        }
+    }
+
+    fn visit_params_mut(&mut self, prefix: &str, v: &mut dyn ParamVisitorMut) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            layer.visit_params_mut(&join_name(prefix, &i.to_string()), v);
+        }
+    }
+
+    fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerExt;
+    use crate::layers::{Linear, Relu};
+    use adaptivefl_tensor::rng;
+
+    fn net() -> Sequential {
+        let mut r = rng::seeded(11);
+        Sequential::new(vec![
+            Box::new(Linear::new(4, 6, &mut r)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(6, 2, &mut r)),
+        ])
+    }
+
+    #[test]
+    fn names_are_indexed() {
+        let n = net();
+        let names: Vec<String> = n.param_map().names().map(String::from).collect();
+        assert_eq!(names, vec!["0.bias", "0.weight", "2.bias", "2.weight"]);
+    }
+
+    #[test]
+    fn param_map_roundtrip() {
+        let n = net();
+        let snap = n.param_map();
+        let mut other = net();
+        other.load_param_map(&snap);
+        assert_eq!(other.param_map(), snap);
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut n = net();
+        let y = n.forward(Tensor::ones(&[5, 4]), true);
+        assert_eq!(y.shape(), &[5, 2]);
+        let dx = n.backward(Tensor::ones(&[5, 2]));
+        assert_eq!(dx.shape(), &[5, 4]);
+    }
+
+    #[test]
+    fn num_params_counts_everything() {
+        let n = net();
+        // (4*6 + 6) + (6*2 + 2) = 44.
+        assert_eq!(n.num_params(), 44);
+    }
+}

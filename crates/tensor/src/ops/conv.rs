@@ -1,0 +1,347 @@
+//! im2col-based 2-D convolution, forward and backward.
+//!
+//! Input layout is NCHW. The convolution is lowered to a matrix product
+//! per sample: `out[n] = W₂d · cols(x[n]) + b`, where `cols` unfolds
+//! every receptive field into a column.
+
+use crate::ops::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use crate::Tensor;
+
+/// Static geometry of a convolution: kernel, stride, padding and the
+/// derived output size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same on both axes).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl ConvGeometry {
+    /// Output spatial size for an input of `h × w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the padded input.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let ph = h + 2 * self.pad;
+        let pw = w + 2 * self.pad;
+        assert!(
+            ph >= self.kh && pw >= self.kw,
+            "kernel {}x{} larger than padded input {}x{}",
+            self.kh,
+            self.kw,
+            ph,
+            pw
+        );
+        ((ph - self.kh) / self.stride + 1, (pw - self.kw) / self.stride + 1)
+    }
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient w.r.t. the input, shape `[n, c_in, h, w]`.
+    pub dx: Tensor,
+    /// Gradient w.r.t. the weight, shape `[c_out, c_in, kh, kw]`.
+    pub dw: Tensor,
+    /// Gradient w.r.t. the bias, shape `[c_out]`.
+    pub db: Tensor,
+}
+
+/// Unfolds one sample `[c, h, w]` into a column matrix
+/// `[c·kh·kw, oh·ow]`.
+pub fn im2col(x: &[f32], c: usize, h: usize, w: usize, geo: ConvGeometry) -> Tensor {
+    let (oh, ow) = geo.out_hw(h, w);
+    let rows = c * geo.kh * geo.kw;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    for ci in 0..c {
+        for ki in 0..geo.kh {
+            for kj in 0..geo.kw {
+                let row = (ci * geo.kh + ki) * geo.kw + kj;
+                for oi in 0..oh {
+                    let ii = (oi * geo.stride + ki) as isize - geo.pad as isize;
+                    if ii < 0 || ii as usize >= h {
+                        continue;
+                    }
+                    let src_row = ci * h * w + ii as usize * w;
+                    let dst_row = row * cols + oi * ow;
+                    for oj in 0..ow {
+                        let jj = (oj * geo.stride + kj) as isize - geo.pad as isize;
+                        if jj < 0 || jj as usize >= w {
+                            continue;
+                        }
+                        out[dst_row + oj] = x[src_row + jj as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Folds a column matrix `[c·kh·kw, oh·ow]` back into a sample
+/// `[c, h, w]`, summing overlapping contributions (adjoint of
+/// [`im2col`]).
+pub fn col2im(cols_t: &Tensor, c: usize, h: usize, w: usize, geo: ConvGeometry) -> Vec<f32> {
+    let (oh, ow) = geo.out_hw(h, w);
+    let cols = oh * ow;
+    let src = cols_t.as_slice();
+    let mut out = vec![0.0f32; c * h * w];
+    for ci in 0..c {
+        for ki in 0..geo.kh {
+            for kj in 0..geo.kw {
+                let row = (ci * geo.kh + ki) * geo.kw + kj;
+                for oi in 0..oh {
+                    let ii = (oi * geo.stride + ki) as isize - geo.pad as isize;
+                    if ii < 0 || ii as usize >= h {
+                        continue;
+                    }
+                    let dst_row = ci * h * w + ii as usize * w;
+                    let src_row = row * cols + oi * ow;
+                    for oj in 0..ow {
+                        let jj = (oj * geo.stride + kj) as isize - geo.pad as isize;
+                        if jj < 0 || jj as usize >= w {
+                            continue;
+                        }
+                        out[dst_row + jj as usize] += src[src_row + oj];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Forward 2-D convolution.
+///
+/// * `x` — input `[n, c_in, h, w]`
+/// * `weight` — `[c_out, c_in, kh, kw]`
+/// * `bias` — `[c_out]`
+///
+/// Returns the output `[n, c_out, oh, ow]` and the cached column
+/// matrices (one per sample) needed by [`conv2d_backward`].
+///
+/// # Panics
+///
+/// Panics on any shape inconsistency.
+pub fn conv2d_forward(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    geo: ConvGeometry,
+) -> (Tensor, Vec<Tensor>) {
+    let (n, c_in, h, w) = nchw(x);
+    let ws = weight.shape();
+    assert_eq!(ws.len(), 4, "conv weight must be 4-D");
+    let (c_out, wc_in, kh, kw) = (ws[0], ws[1], ws[2], ws[3]);
+    assert_eq!(c_in, wc_in, "conv in-channel mismatch");
+    assert_eq!((kh, kw), (geo.kh, geo.kw), "kernel/geometry mismatch");
+    assert_eq!(bias.numel(), c_out, "bias size mismatch");
+    let (oh, ow) = geo.out_hw(h, w);
+    let w2d = weight.reshape(&[c_out, c_in * kh * kw]);
+    let mut out = vec![0.0f32; n * c_out * oh * ow];
+    let mut caches = Vec::with_capacity(n);
+    let bslice = bias.as_slice();
+    for ni in 0..n {
+        let sample = &x.as_slice()[ni * c_in * h * w..(ni + 1) * c_in * h * w];
+        let cols = im2col(sample, c_in, h, w, geo);
+        let y = matmul(&w2d, &cols); // [c_out, oh*ow]
+        let dst = &mut out[ni * c_out * oh * ow..(ni + 1) * c_out * oh * ow];
+        for co in 0..c_out {
+            let b = bslice[co];
+            let src = &y.as_slice()[co * oh * ow..(co + 1) * oh * ow];
+            let d = &mut dst[co * oh * ow..(co + 1) * oh * ow];
+            for (o, &v) in d.iter_mut().zip(src) {
+                *o = v + b;
+            }
+        }
+        caches.push(cols);
+    }
+    (Tensor::from_vec(out, &[n, c_out, oh, ow]), caches)
+}
+
+/// Backward 2-D convolution given the forward column caches.
+///
+/// `dy` has shape `[n, c_out, oh, ow]`.
+///
+/// # Panics
+///
+/// Panics on shape inconsistency with the forward pass.
+pub fn conv2d_backward(
+    dy: &Tensor,
+    weight: &Tensor,
+    caches: &[Tensor],
+    in_shape: &[usize],
+    geo: ConvGeometry,
+) -> Conv2dGrads {
+    let (n, c_out, oh, ow) = nchw(dy);
+    let (_, c_in, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
+    assert_eq!(caches.len(), n, "cache count mismatch");
+    let ws = weight.shape().to_vec();
+    let w2d = weight.reshape(&[c_out, ws[1] * ws[2] * ws[3]]);
+    let mut dw2d = Tensor::zeros(&[c_out, ws[1] * ws[2] * ws[3]]);
+    let mut db = Tensor::zeros(&[c_out]);
+    let mut dx = vec![0.0f32; n * c_in * h * w];
+    for ni in 0..n {
+        let dyn_ = Tensor::from_vec(
+            dy.as_slice()[ni * c_out * oh * ow..(ni + 1) * c_out * oh * ow].to_vec(),
+            &[c_out, oh * ow],
+        );
+        // dW += dY · colsᵀ
+        let contrib = matmul_a_bt(&dyn_, &caches[ni]);
+        dw2d.add_assign(&contrib);
+        // db += row sums of dY
+        for co in 0..c_out {
+            let s: f32 = dyn_.as_slice()[co * oh * ow..(co + 1) * oh * ow].iter().sum();
+            db.as_mut_slice()[co] += s;
+        }
+        // dcols = Wᵀ · dY, then fold back.
+        let dcols = matmul_at_b(&w2d, &dyn_);
+        let dxi = col2im(&dcols, c_in, h, w, geo);
+        dx[ni * c_in * h * w..(ni + 1) * c_in * h * w].copy_from_slice(&dxi);
+    }
+    Conv2dGrads {
+        dx: Tensor::from_vec(dx, &[n, c_in, h, w]),
+        dw: dw2d.reshape(&ws),
+        db,
+    }
+}
+
+fn nchw(t: &Tensor) -> (usize, usize, usize, usize) {
+    let s = t.shape();
+    assert_eq!(s.len(), 4, "expected NCHW tensor, got {:?}", s);
+    (s[0], s[1], s[2], s[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo3() -> ConvGeometry {
+        ConvGeometry { kh: 3, kw: 3, stride: 1, pad: 1 }
+    }
+
+    #[test]
+    fn out_size_same_padding() {
+        assert_eq!(geo3().out_hw(8, 8), (8, 8));
+        let g2 = ConvGeometry { kh: 3, kw: 3, stride: 2, pad: 1 };
+        assert_eq!(g2.out_hw(8, 8), (4, 4));
+        let g1 = ConvGeometry { kh: 1, kw: 1, stride: 1, pad: 0 };
+        assert_eq!(g1.out_hw(5, 7), (5, 7));
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // 1x1 kernel with weight 1 reproduces the input channel.
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let w = Tensor::ones(&[1, 1, 1, 1]);
+        let b = Tensor::zeros(&[1]);
+        let g = ConvGeometry { kh: 1, kw: 1, stride: 1, pad: 0 };
+        let (y, _) = conv2d_forward(&x, &w, &b, g);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn averaging_kernel_matches_hand_computation() {
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let w = Tensor::full(&[1, 1, 3, 3], 1.0 / 9.0);
+        let b = Tensor::zeros(&[1]);
+        let (y, _) = conv2d_forward(&x, &w, &b, geo3());
+        // Centre pixel sees all nine ones.
+        assert!((y.at(&[0, 0, 1, 1]) - 1.0).abs() < 1e-6);
+        // Corner sees four ones (rest padding).
+        assert!((y.at(&[0, 0, 0, 0]) - 4.0 / 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let x = Tensor::zeros(&[2, 1, 2, 2]);
+        let w = Tensor::zeros(&[3, 1, 1, 1]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let g = ConvGeometry { kh: 1, kw: 1, stride: 1, pad: 0 };
+        let (y, _) = conv2d_forward(&x, &w, &b, g);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(y.at(&[1, 2, 1, 1]), 3.0);
+    }
+
+    /// Finite-difference check of the full backward pass.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let geo = ConvGeometry { kh: 3, kw: 3, stride: 1, pad: 1 };
+        let n = 2;
+        let (c_in, h, w_) = (2, 4, 4);
+        let c_out = 3;
+        let mk = |len: usize, seed: f32| -> Vec<f32> {
+            (0..len).map(|i| (i as f32 * 12.9898 + seed).sin() * 0.5).collect()
+        };
+        let x = Tensor::from_vec(mk(n * c_in * h * w_, 1.0), &[n, c_in, h, w_]);
+        let wt = Tensor::from_vec(mk(c_out * c_in * 9, 2.0), &[c_out, c_in, 3, 3]);
+        let b = Tensor::from_vec(mk(c_out, 3.0), &[c_out]);
+
+        // Loss = sum(conv(x)) so dy = ones.
+        let loss = |x: &Tensor, wt: &Tensor, b: &Tensor| -> f32 {
+            conv2d_forward(x, wt, b, geo).0.sum()
+        };
+        let (y, caches) = conv2d_forward(&x, &wt, &b, geo);
+        let dy = Tensor::ones(y.shape());
+        let grads = conv2d_backward(&dy, &wt, &caches, x.shape(), geo);
+
+        let eps = 1e-2f32;
+        // Check a scattering of weight gradient entries.
+        for &idx in &[0usize, 5, 17, 30, c_out * c_in * 9 - 1] {
+            let mut wp = wt.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = wt.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps);
+            let ana = grads.dw.as_slice()[idx];
+            assert!(
+                (num - ana).abs() < 0.05 * (1.0 + ana.abs()),
+                "dW[{idx}] numeric {num} vs analytic {ana}"
+            );
+        }
+        // Bias gradient entries.
+        for idx in 0..c_out {
+            let mut bp = b.clone();
+            bp.as_mut_slice()[idx] += eps;
+            let mut bm = b.clone();
+            bm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&x, &wt, &bp) - loss(&x, &wt, &bm)) / (2.0 * eps);
+            let ana = grads.db.as_slice()[idx];
+            assert!((num - ana).abs() < 0.05 * (1.0 + ana.abs()));
+        }
+        // Input gradient entries.
+        for &idx in &[0usize, 7, 20, n * c_in * h * w_ - 1] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&xp, &wt, &b) - loss(&xm, &wt, &b)) / (2.0 * eps);
+            let ana = grads.dx.as_slice()[idx];
+            assert!((num - ana).abs() < 0.05 * (1.0 + ana.abs()));
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y.
+        let geo = ConvGeometry { kh: 3, kw: 3, stride: 2, pad: 1 };
+        let (c, h, w) = (2, 5, 5);
+        let x: Vec<f32> = (0..c * h * w).map(|i| (i as f32 * 0.37).cos()).collect();
+        let cols = im2col(&x, c, h, w, geo);
+        let y = Tensor::from_vec(
+            (0..cols.numel()).map(|i| (i as f32 * 0.11).sin()).collect(),
+            cols.shape(),
+        );
+        let lhs: f32 = cols.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let folded = col2im(&y, c, h, w, geo);
+        let rhs: f32 = x.iter().zip(folded.iter()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+}

@@ -1,0 +1,19 @@
+//! Numerical kernels: matrix multiplication, im2col convolution,
+//! pooling, and the softmax used by the loss layer.
+//!
+//! These free functions operate on plain [`Tensor`](crate::Tensor)s; the
+//! `adaptivefl-nn` crate wraps them into layers with parameter and
+//! gradient bookkeeping.
+
+mod conv;
+mod matmul;
+mod pool;
+mod softmax;
+
+pub use conv::{col2im, conv2d_backward, conv2d_forward, im2col, Conv2dGrads, ConvGeometry};
+pub use matmul::{matmul, matmul_at_b, matmul_a_bt};
+pub use pool::{
+    avg_pool2d_backward, avg_pool2d_forward, global_avg_pool_backward, global_avg_pool_forward,
+    max_pool2d_backward, max_pool2d_forward,
+};
+pub use softmax::{log_softmax_rows, softmax_rows};

@@ -1,0 +1,211 @@
+//! Pooling kernels: max, average and global-average, with backward
+//! passes. All inputs are NCHW.
+
+use crate::Tensor;
+
+/// Max pooling with a square window and equal stride.
+///
+/// Returns the pooled output `[n, c, oh, ow]` and the flat argmax
+/// indices (into the input buffer) needed by
+/// [`max_pool2d_backward`].
+///
+/// # Panics
+///
+/// Panics if the input is not 4-D or not divisible by the window.
+pub fn max_pool2d_forward(x: &Tensor, window: usize) -> (Tensor, Vec<usize>) {
+    let s = x.shape();
+    assert_eq!(s.len(), 4, "max_pool expects NCHW");
+    let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+    assert!(
+        h % window == 0 && w % window == 0,
+        "pool window {window} must divide {h}x{w}"
+    );
+    let (oh, ow) = (h / window, w / window);
+    let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
+    let mut arg = vec![0usize; n * c * oh * ow];
+    let xv = x.as_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            let obase = (ni * c + ci) * oh * ow;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for di in 0..window {
+                        for dj in 0..window {
+                            let idx = base + (oi * window + di) * w + oj * window + dj;
+                            if xv[idx] > best {
+                                best = xv[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    out[obase + oi * ow + oj] = best;
+                    arg[obase + oi * ow + oj] = best_idx;
+                }
+            }
+        }
+    }
+    (Tensor::from_vec(out, &[n, c, oh, ow]), arg)
+}
+
+/// Backward of [`max_pool2d_forward`]: routes each output gradient to
+/// the argmax position.
+pub fn max_pool2d_backward(dy: &Tensor, argmax: &[usize], in_shape: &[usize]) -> Tensor {
+    let mut dx = vec![0.0f32; in_shape.iter().product()];
+    for (g, &idx) in dy.as_slice().iter().zip(argmax.iter()) {
+        dx[idx] += g;
+    }
+    Tensor::from_vec(dx, in_shape)
+}
+
+/// Average pooling with a square window and equal stride.
+///
+/// # Panics
+///
+/// Panics if the input is not 4-D or not divisible by the window.
+pub fn avg_pool2d_forward(x: &Tensor, window: usize) -> Tensor {
+    let s = x.shape();
+    assert_eq!(s.len(), 4, "avg_pool expects NCHW");
+    let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+    assert!(h % window == 0 && w % window == 0);
+    let (oh, ow) = (h / window, w / window);
+    let inv = 1.0 / (window * window) as f32;
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let xv = x.as_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            let obase = (ni * c + ci) * oh * ow;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut acc = 0.0;
+                    for di in 0..window {
+                        for dj in 0..window {
+                            acc += xv[base + (oi * window + di) * w + oj * window + dj];
+                        }
+                    }
+                    out[obase + oi * ow + oj] = acc * inv;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, oh, ow])
+}
+
+/// Backward of [`avg_pool2d_forward`].
+pub fn avg_pool2d_backward(dy: &Tensor, window: usize, in_shape: &[usize]) -> Tensor {
+    let (n, c, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
+    let (oh, ow) = (h / window, w / window);
+    let inv = 1.0 / (window * window) as f32;
+    let mut dx = vec![0.0f32; n * c * h * w];
+    let dyv = dy.as_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            let obase = (ni * c + ci) * oh * ow;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let g = dyv[obase + oi * ow + oj] * inv;
+                    for di in 0..window {
+                        for dj in 0..window {
+                            dx[base + (oi * window + di) * w + oj * window + dj] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(dx, in_shape)
+}
+
+/// Global average pooling `[n, c, h, w] → [n, c]`.
+pub fn global_avg_pool_forward(x: &Tensor) -> Tensor {
+    let s = x.shape();
+    assert_eq!(s.len(), 4, "global_avg_pool expects NCHW");
+    let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+    let inv = 1.0 / (h * w) as f32;
+    let mut out = vec![0.0f32; n * c];
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            out[ni * c + ci] = x.as_slice()[base..base + h * w].iter().sum::<f32>() * inv;
+        }
+    }
+    Tensor::from_vec(out, &[n, c])
+}
+
+/// Backward of [`global_avg_pool_forward`]; `dy` has shape `[n, c]`.
+pub fn global_avg_pool_backward(dy: &Tensor, in_shape: &[usize]) -> Tensor {
+    let (n, c, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
+    let inv = 1.0 / (h * w) as f32;
+    let mut dx = vec![0.0f32; n * c * h * w];
+    for ni in 0..n {
+        for ci in 0..c {
+            let g = dy.as_slice()[ni * c + ci] * inv;
+            let base = (ni * c + ci) * h * w;
+            for v in &mut dx[base..base + h * w] {
+                *v = g;
+            }
+        }
+    }
+    Tensor::from_vec(dx, in_shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_maxima() {
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        );
+        let (y, arg) = max_pool2d_forward(&x, 2);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+        assert_eq!(arg, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec((1..=16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let (y, arg) = max_pool2d_forward(&x, 2);
+        let dy = Tensor::ones(y.shape());
+        let dx = max_pool2d_backward(&dy, &arg, x.shape());
+        assert_eq!(dx.sum(), 4.0);
+        assert_eq!(dx.at(&[0, 0, 1, 1]), 1.0); // position of 6
+        assert_eq!(dx.at(&[0, 0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn avg_pool_averages() {
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let y = avg_pool2d_forward(&x, 2);
+        assert_eq!(y.as_slice(), &[2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn avg_pool_backward_distributes_evenly() {
+        let in_shape = [1, 1, 4, 4];
+        let dy = Tensor::from_vec(vec![4.0, 8.0, 12.0, 16.0], &[1, 1, 2, 2]);
+        let dx = avg_pool2d_backward(&dy, 2, &in_shape);
+        assert_eq!(dx.at(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(dx.at(&[0, 0, 3, 3]), 4.0);
+        assert_eq!(dx.sum(), dy.sum());
+    }
+
+    #[test]
+    fn global_avg_pool_roundtrip() {
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]);
+        let y = global_avg_pool_forward(&x);
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.as_slice(), &[1.5, 5.5]);
+        let dy = Tensor::from_vec(vec![4.0, 8.0], &[1, 2]);
+        let dx = global_avg_pool_backward(&dy, x.shape());
+        assert_eq!(dx.at(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(dx.at(&[0, 1, 1, 1]), 2.0);
+    }
+}

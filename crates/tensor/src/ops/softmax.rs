@@ -1,0 +1,79 @@
+//! Row-wise softmax / log-softmax used by the classification losses.
+
+use crate::Tensor;
+
+/// Numerically stable row-wise softmax of a `[rows, cols]` tensor.
+///
+/// # Panics
+///
+/// Panics if the input is not 2-D.
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    let ls = log_softmax_rows(logits);
+    ls.map(f32::exp)
+}
+
+/// Numerically stable row-wise log-softmax of a `[rows, cols]` tensor.
+///
+/// # Panics
+///
+/// Panics if the input is not 2-D.
+pub fn log_softmax_rows(logits: &Tensor) -> Tensor {
+    let s = logits.shape();
+    assert_eq!(s.len(), 2, "log_softmax expects [rows, cols]");
+    let (rows, cols) = (s[0], s[1]);
+    let mut out = vec![0.0f32; rows * cols];
+    let xv = logits.as_slice();
+    for r in 0..rows {
+        let row = &xv[r * cols..(r + 1) * cols];
+        let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
+        for (o, &x) in out[r * cols..(r + 1) * cols].iter_mut().zip(row) {
+            *o = x - lse;
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let p = softmax_rows(&t);
+        for r in 0..2 {
+            let s: f32 = p.as_slice()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let b = Tensor::from_vec(vec![101.0, 102.0, 103.0], &[1, 3]);
+        let pa = softmax_rows(&a);
+        let pb = softmax_rows(&b);
+        for (x, y) in pa.as_slice().iter().zip(pb.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn handles_extreme_logits() {
+        let t = Tensor::from_vec(vec![1000.0, 0.0, -1000.0], &[1, 3]);
+        let p = softmax_rows(&t);
+        assert!((p.as_slice()[0] - 1.0).abs() < 1e-5);
+        assert!(p.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax() {
+        let t = Tensor::from_vec(vec![0.5, -0.3, 2.0, 1.0], &[1, 4]);
+        let ls = log_softmax_rows(&t);
+        let p = softmax_rows(&t);
+        for (l, q) in ls.as_slice().iter().zip(p.as_slice()) {
+            assert!((l.exp() - q).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper; logs under results/.
+set -u
+cd /root/repo
+mkdir -p results/logs
+for exp in table1 table2 table3 table4 fig2 fig3 fig4 fig5 fig6 ablation; do
+    echo "=== running $exp ($(date +%H:%M:%S)) ==="
+    ./target/release/$exp "$@" 2>&1 | tee results/logs/$exp.log
+done
+echo "=== all experiments done ($(date +%H:%M:%S)) ==="

@@ -1,0 +1,132 @@
+//! Property-based tests (proptest) of the core invariants:
+//! prefix-slice algebra, width-plan nesting, heterogeneous aggregation,
+//! and partition coverage.
+
+use adaptivefl::core::aggregate::{aggregate, Upload};
+use adaptivefl::data::{dirichlet_partition, iid_partition};
+use adaptivefl::models::plan::{scale_width, PruneSpec, WidthPlan};
+use adaptivefl::nn::ParamMap;
+use adaptivefl::tensor::{rng, SliceSpec, Tensor};
+use proptest::prelude::*;
+
+fn small_shape() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..5, 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// extract ∘ embed is the identity on the block.
+    #[test]
+    fn extract_embed_roundtrip(shape in small_shape(), seed in 0u64..1000) {
+        let mut r = rng::seeded(seed);
+        let dims: Vec<usize> = shape.iter().map(|&s| 1 + seed as usize % s).collect();
+        let block = adaptivefl::tensor::init::normal(&dims, 1.0, &mut r);
+        let mut full = Tensor::zeros(&shape);
+        let spec = SliceSpec::new(dims);
+        spec.embed(&block, &mut full);
+        prop_assert_eq!(spec.extract(&full), block);
+    }
+
+    /// Extraction of nested specs commutes: extracting the small block
+    /// from the full tensor equals extracting it from the medium block.
+    #[test]
+    fn nested_extraction_commutes(shape in small_shape(), seed in 0u64..1000) {
+        let mut r = rng::seeded(seed);
+        let full = adaptivefl::tensor::init::normal(&shape, 1.0, &mut r);
+        let mid: Vec<usize> = shape.iter().map(|&s| s.div_ceil(2).max(1)).collect();
+        let small: Vec<usize> = mid.iter().map(|&s| s.div_ceil(2).max(1)).collect();
+        let mid_spec = SliceSpec::new(mid);
+        let small_spec = SliceSpec::new(small);
+        let via_mid = small_spec.extract(&mid_spec.extract(&full));
+        let direct = small_spec.extract(&full);
+        prop_assert_eq!(via_mid, direct);
+    }
+
+    /// Aggregated values always lie within the convex hull of the
+    /// previous global value and the uploads covering each element.
+    #[test]
+    fn aggregation_is_convex(
+        len in 1usize..6,
+        uploads in prop::collection::vec((1usize..6, 1.0f32..100.0, -5.0f32..5.0), 1..5),
+    ) {
+        let mut global = ParamMap::new();
+        global.insert("w", Tensor::full(&[len], 10.0));
+        let ups: Vec<Upload> = uploads
+            .iter()
+            .map(|&(l, w, v)| {
+                let l = l.min(len);
+                let mut m = ParamMap::new();
+                m.insert("w", Tensor::full(&[l], v));
+                Upload { params: m, weight: w }
+            })
+            .collect();
+        aggregate(&mut global, &ups);
+        let g = global.get("w").unwrap();
+        for (i, &gv) in g.as_slice().iter().enumerate() {
+            let covering: Vec<f32> = uploads
+                .iter()
+                .filter(|&&(l, _, _)| l.min(len) > i)
+                .map(|&(_, _, v)| v)
+                .collect();
+            if covering.is_empty() {
+                prop_assert_eq!(gv, 10.0, "uncovered element must keep old value");
+            } else {
+                let lo = covering.iter().cloned().fold(f32::INFINITY, f32::min);
+                let hi = covering.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                prop_assert!(gv >= lo - 1e-4 && gv <= hi + 1e-4,
+                    "element {i}: {gv} outside [{lo}, {hi}]");
+            }
+        }
+    }
+
+    /// Width plans from any two specs with ordered ratios and the same
+    /// start unit are nested.
+    #[test]
+    fn plans_nest_by_ratio(
+        base in prop::collection::vec(1usize..128, 1..10),
+        r1 in 0.1f32..0.9,
+        dr in 0.01f32..0.5,
+        start in 0usize..8,
+    ) {
+        let r2 = (r1 + dr).min(1.0);
+        let small = WidthPlan::from_spec(&base, &PruneSpec::new(r1, start));
+        let big = WidthPlan::from_spec(&base, &PruneSpec::new(r2, start));
+        prop_assert!(small.nested_in(&big));
+        prop_assert!(big.nested_in(&WidthPlan::full(&base)));
+    }
+
+    /// Scaled widths are monotone in the ratio and never zero.
+    #[test]
+    fn scale_width_monotone(base in 1usize..2048, r1 in 0.01f32..1.0, dr in 0.0f32..0.5) {
+        let r2 = (r1 + dr).min(1.0);
+        prop_assert!(scale_width(base, r1) >= 1);
+        prop_assert!(scale_width(base, r1) <= scale_width(base, r2));
+        prop_assert_eq!(scale_width(base, 1.0), base);
+    }
+
+    /// Every partitioner assigns each sample to exactly one client.
+    #[test]
+    fn partitions_cover_exactly_once(
+        n in 1usize..300,
+        clients in 1usize..20,
+        alpha in 0.05f32..10.0,
+        seed in 0u64..500,
+    ) {
+        let labels: Vec<usize> = (0..n).map(|i| i % 7).collect();
+        let mut r = rng::seeded(seed);
+        for shards in [
+            iid_partition(n, clients, &mut r),
+            dirichlet_partition(&labels, 7, clients, alpha, &mut r),
+        ] {
+            let mut seen = vec![false; n];
+            for s in &shards {
+                for &i in s {
+                    prop_assert!(!seen[i], "sample {i} assigned twice");
+                    seen[i] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&x| x), "some sample unassigned");
+        }
+    }
+}

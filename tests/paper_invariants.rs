@@ -1,0 +1,136 @@
+//! Invariants lifted directly from the paper: Table 1 numbers, pool
+//! structure, capacity gating, and RL behaviour over a real run.
+
+use adaptivefl::core::methods::MethodKind;
+use adaptivefl::core::pool::{Level, ModelPool, DEFAULT_RATIOS};
+use adaptivefl::core::sim::{SimConfig, Simulation};
+use adaptivefl::data::{Partition, SynthSpec};
+use adaptivefl::device::ResourceDynamics;
+use adaptivefl::models::ModelConfig;
+
+/// Table 1 of the paper, exactly: level sizes and ratios of the VGG16
+/// split (± rounding of the width quantisation).
+#[test]
+fn table1_sizes_reproduce() {
+    let cfg = ModelConfig::vgg16_cifar();
+    let pool = ModelPool::split(&cfg, 3, DEFAULT_RATIOS);
+    let paper: &[(&str, f64, f64)] = &[
+        ("S_3", 5.67, 0.17),
+        ("S_2", 6.48, 0.19),
+        ("S_1", 8.39, 0.25),
+        ("M_3", 14.84, 0.44),
+        ("M_2", 15.41, 0.46),
+        ("M_1", 16.81, 0.50),
+        ("L_1", 33.65, 1.00),
+    ];
+    let full = pool.largest().params as f64;
+    for (name, params_m, ratio) in paper {
+        let e = pool
+            .entries()
+            .iter()
+            .find(|e| e.name() == *name)
+            .unwrap_or_else(|| panic!("{name} missing from pool"));
+        let got_m = e.params as f64 / 1e6;
+        assert!((got_m - params_m).abs() < 0.08, "{name}: {got_m:.2}M vs paper {params_m}M");
+        let got_ratio = e.params as f64 / full;
+        assert!((got_ratio - ratio).abs() < 0.01, "{name}: ratio {got_ratio:.2} vs {ratio}");
+    }
+}
+
+/// The pool has 2p+1 entries for every p, ordered by size, with the
+/// full model last.
+#[test]
+fn pool_structure_for_all_p() {
+    let cfg = ModelConfig::tiny(10);
+    for p in 1..=4 {
+        let pool = ModelPool::split(&cfg, p, DEFAULT_RATIOS);
+        assert_eq!(pool.len(), 2 * p + 1);
+        assert_eq!(pool.largest().level, Level::Large);
+        for w in pool.entries().windows(2) {
+            assert!(w[0].params <= w[1].params);
+        }
+    }
+}
+
+/// Capacity gating: in an all-weak static fleet, the uploads can never
+/// exceed K × (weak capacity) parameters per round — weak devices
+/// physically cannot return medium or large models.
+#[test]
+fn weak_devices_never_return_large_models() {
+    let mut spec = SynthSpec::test_spec(4);
+    spec.input = (3, 8, 8);
+    let mut cfg = SimConfig::quick_test(950);
+    cfg.proportions = (1, 0, 0); // all weak
+    cfg.dynamics = ResourceDynamics::Static;
+    cfg.rounds = 3;
+    let mut sim = Simulation::prepare(&cfg, &spec, Partition::Iid);
+    let full = cfg.model.num_params(&cfg.model.full_plan());
+    let weak_cap = (full as f64 * 0.30).round() as u64;
+    let r = sim.run(MethodKind::AdaptiveFl);
+    for round in &r.rounds {
+        assert!(
+            round.returned_params <= cfg.clients_per_round as u64 * weak_cap,
+            "round {}: returned {} exceeds weak budget",
+            round.round,
+            round.returned_params
+        );
+    }
+}
+
+/// Under HeteroFL (no client-side adaptation), an all-weak fleet with
+/// spiky resources must produce failures — the mismatch AdaptiveFL's
+/// client-side pruning avoids by construction.
+#[test]
+fn heterofl_fails_where_adaptivefl_adapts() {
+    let mut spec = SynthSpec::test_spec(4);
+    spec.input = (3, 8, 8);
+    let mut cfg = SimConfig::quick_test(951);
+    cfg.rounds = 6;
+    cfg.dynamics = ResourceDynamics::Spiky { jitter: 0.05, drop_prob: 0.5, drop_to: 0.3 };
+    let mut sim = Simulation::prepare(&cfg, &spec, Partition::Iid);
+    let het = sim.run(MethodKind::HeteroFl);
+    let ours = sim.run(MethodKind::AdaptiveFl);
+    let het_failures: usize = het.rounds.iter().map(|r| r.failures).sum();
+    let our_failures: usize = ours.rounds.iter().map(|r| r.failures).sum();
+    assert!(het_failures > 0, "spiky resources must break static assignment");
+    assert!(
+        our_failures <= het_failures,
+        "adaptive pruning should fail at most as often ({our_failures} vs {het_failures})"
+    );
+}
+
+/// The paper's fine-grained claim: with p = 3 the pool offers strictly
+/// more distinct sizes than the coarse p = 1 pool.
+#[test]
+fn fine_grained_pool_offers_more_sizes() {
+    let cfg = ModelConfig::vgg16_cifar();
+    let fine = ModelPool::split(&cfg, 3, DEFAULT_RATIOS);
+    let coarse = ModelPool::split(&cfg, 1, DEFAULT_RATIOS);
+    let distinct = |pool: &ModelPool| {
+        let mut sizes: Vec<u64> = pool.entries().iter().map(|e| e.params).collect();
+        sizes.dedup();
+        sizes.len()
+    };
+    assert!(distinct(&fine) > distinct(&coarse));
+}
+
+/// Every level representative is nested in the full model and the
+/// client-side `largest_fitting` respects both capacity and nesting.
+#[test]
+fn client_pruning_respects_capacity_and_nesting() {
+    let cfg = ModelConfig::resnet18_fast(10);
+    let pool = ModelPool::split(&cfg, 3, DEFAULT_RATIOS);
+    let full = pool.largest();
+    for e in pool.entries() {
+        assert!(e.plan.nested_in(&full.plan), "{} not nested in L_1", e.name());
+    }
+    for received in 0..pool.len() {
+        for capacity in [0u64, full.params / 4, full.params / 2, full.params * 2] {
+            if let Some(fit) = pool.largest_fitting(received, capacity) {
+                assert!(fit.params <= capacity);
+                assert!(fit.index <= received);
+                assert!(fit.plan.nested_in(&pool.entry(received).plan));
+            }
+        }
+    }
+}
