@@ -21,7 +21,12 @@ fn bench_matmul(c: &mut Criterion) {
 
 fn bench_conv(c: &mut Criterion) {
     let mut r = rng::seeded(2);
-    let geo = ConvGeometry { kh: 3, kw: 3, stride: 1, pad: 1 };
+    let geo = ConvGeometry {
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        pad: 1,
+    };
     let x = init::normal(&[8, 16, 8, 8], 1.0, &mut r);
     let w = init::normal(&[32, 16, 3, 3], 0.1, &mut r);
     let b = Tensor::zeros(&[32]);
@@ -32,7 +37,13 @@ fn bench_conv(c: &mut Criterion) {
     let dy = Tensor::ones(y.shape());
     c.bench_function("conv3x3_16to32_8x8_b8_bwd", |bench| {
         bench.iter(|| {
-            conv2d_backward(black_box(&dy), black_box(&w), black_box(&caches), x.shape(), geo)
+            conv2d_backward(
+                black_box(&dy),
+                black_box(&w),
+                black_box(&caches),
+                x.shape(),
+                geo,
+            )
         })
     });
 }

@@ -11,7 +11,9 @@
 //! cargo run --release -p adaptivefl-bench --bin ablation [--full]
 //! ```
 
-use adaptivefl_bench::{experiment_cfg, paper_models, pct, print_table, syn_cifar10, write_json, Args};
+use adaptivefl_bench::{
+    experiment_cfg, paper_models, pct, print_table, syn_cifar10, write_json, Args,
+};
 use adaptivefl_core::methods::{AdaptiveFl, MethodKind};
 use adaptivefl_core::select::SelectionStrategy;
 use adaptivefl_core::sim::Simulation;
@@ -39,7 +41,11 @@ fn main() {
         cfg.p = p;
         let mut sim = Simulation::prepare(&cfg, &spec, Partition::Dirichlet(0.6));
         let r = sim.run(MethodKind::AdaptiveFl);
-        println!("p = {p}: full {}%  waste {:.1}%", pct(r.best_full_accuracy()), 100.0 * r.comm_waste_rate());
+        println!(
+            "p = {p}: full {}%  waste {:.1}%",
+            pct(r.best_full_accuracy()),
+            100.0 * r.comm_waste_rate()
+        );
         results.push(AblationResult {
             group: "p-sweep".into(),
             variant: format!("p={p}"),
@@ -56,7 +62,11 @@ fn main() {
         let method = AdaptiveFl::new(sim.env(), SelectionStrategy::CuriosityAndResource, false)
             .with_reward_cap(cap);
         let r = sim.run_method(Box::new(method));
-        println!("{label}: full {}%  waste {:.1}%", pct(r.best_full_accuracy()), 100.0 * r.comm_waste_rate());
+        println!(
+            "{label}: full {}%  waste {:.1}%",
+            pct(r.best_full_accuracy()),
+            100.0 * r.comm_waste_rate()
+        );
         results.push(AblationResult {
             group: "reward-cap".into(),
             variant: label.into(),
@@ -73,7 +83,11 @@ fn main() {
         let mut sim = Simulation::prepare(&cfg, &spec, Partition::Dirichlet(0.6));
         let r = sim.run(MethodKind::AdaptiveFl);
         let label = format!("S={},M={}", ratios.0, ratios.1);
-        println!("{label}: full {}%  waste {:.1}%", pct(r.best_full_accuracy()), 100.0 * r.comm_waste_rate());
+        println!(
+            "{label}: full {}%  waste {:.1}%",
+            pct(r.best_full_accuracy()),
+            100.0 * r.comm_waste_rate()
+        );
         results.push(AblationResult {
             group: "ratios".into(),
             variant: label,

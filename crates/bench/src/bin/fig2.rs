@@ -40,15 +40,21 @@ fn main() {
             print!("  {:<12}", r.method);
             for (round, _, avg) in r.curve() {
                 print!(" {}:{}", round + 1, pct(avg));
-                rows.push(format!("{panel},{},{},{:.4},{:.4}", r.method, round + 1, avg, {
-                    let full = r
-                        .evals
-                        .iter()
-                        .find(|e| e.round == round)
-                        .map(|e| e.full)
-                        .unwrap_or(0.0);
-                    full
-                }));
+                rows.push(format!(
+                    "{panel},{},{},{:.4},{:.4}",
+                    r.method,
+                    round + 1,
+                    avg,
+                    {
+                        let full = r
+                            .evals
+                            .iter()
+                            .find(|e| e.round == round)
+                            .map(|e| e.full)
+                            .unwrap_or(0.0);
+                        full
+                    }
+                ));
             }
             println!();
         }

@@ -10,7 +10,9 @@
 //! cargo run --release -p adaptivefl-bench --bin fig3 [--full]
 //! ```
 
-use adaptivefl_bench::{experiment_cfg, paper_models, pct, print_table, syn_cifar10, write_json, Args};
+use adaptivefl_bench::{
+    experiment_cfg, paper_models, pct, print_table, syn_cifar10, write_json, Args,
+};
 use adaptivefl_core::methods::MethodKind;
 use adaptivefl_core::sim::Simulation;
 use adaptivefl_data::Partition;
@@ -44,7 +46,11 @@ fn main() {
         let mut row = vec![r.method.clone()];
         for (level, acc) in &last.levels {
             row.push(format!("{level}={}", pct(*acc)));
-            points.push(LevelPoint { method: r.method.clone(), level: level.clone(), accuracy: *acc });
+            points.push(LevelPoint {
+                method: r.method.clone(),
+                level: level.clone(),
+                accuracy: *acc,
+            });
         }
         rows.push(row);
         // Monotonicity indicator: does accuracy grow with size?

@@ -15,7 +15,11 @@ fn main() {
     let args = Args::parse();
     let spec = syn_cifar10();
     let [_, (_, resnet)] = paper_models(spec.classes, spec.input);
-    let client_counts: &[usize] = if args.full { &[50, 100, 200, 500] } else { &[25, 50, 100] };
+    let client_counts: &[usize] = if args.full {
+        &[50, 100, 200, 500]
+    } else {
+        &[25, 50, 100]
+    };
     let methods = [
         MethodKind::Decoupled,
         MethodKind::HeteroFl,

@@ -6,7 +6,9 @@
 //! cargo run --release -p adaptivefl-bench --bin fig5 [--full]
 //! ```
 
-use adaptivefl_bench::{experiment_cfg, paper_models, pct, print_table, syn_cifar100, write_json, Args};
+use adaptivefl_bench::{
+    experiment_cfg, paper_models, pct, print_table, syn_cifar100, write_json, Args,
+};
 use adaptivefl_core::methods::MethodKind;
 use adaptivefl_core::select::SelectionStrategy;
 use adaptivefl_core::sim::Simulation;

@@ -24,8 +24,12 @@ fn main() {
 
     for path in entries {
         let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("?");
-        let Ok(body) = fs::read_to_string(&path) else { continue };
-        let Ok(value) = serde_json::from_str::<Value>(&body) else { continue };
+        let Ok(body) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let Ok(value) = serde_json::from_str::<Value>(&body) else {
+            continue;
+        };
         let _ = writeln!(out, "\n## {name}\n");
         match &value {
             Value::Array(rows) if !rows.is_empty() => {
@@ -35,14 +39,21 @@ fn main() {
                     let _ = writeln!(
                         out,
                         "| {} |",
-                        cols.iter().map(|c| c.as_str()).collect::<Vec<_>>().join(" | ")
+                        cols.iter()
+                            .map(|c| c.as_str())
+                            .collect::<Vec<_>>()
+                            .join(" | ")
                     );
-                    let _ = writeln!(out, "|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+                    let _ = writeln!(
+                        out,
+                        "|{}|",
+                        cols.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+                    );
                     for row in rows {
                         if let Value::Object(obj) = row {
                             let cells: Vec<String> = cols
                                 .iter()
-                                .map(|c| match obj.get(*c) {
+                                .map(|c| match obj.get(c) {
                                     Some(Value::Number(n)) => {
                                         let f = n.as_f64().unwrap_or(0.0);
                                         if f.fract() == 0.0 && f.abs() < 1e15 {
@@ -67,7 +78,11 @@ fn main() {
                 let _ = writeln!(out, "```json\n{body}\n```");
             }
         }
-        let _ = writeln!(out, "\n*({} entries)*", value.as_array().map_or(1, Vec::len));
+        let _ = writeln!(
+            out,
+            "\n*({} entries)*",
+            value.as_array().map_or(1, Vec::len)
+        );
     }
 
     let target = dir.join("SUMMARY.md");

@@ -36,10 +36,18 @@ fn main() {
     for e in entries {
         let bp = cfg.full_blueprint(&e.plan);
         let c = cost_of(&bp, cfg.input);
-        let i_str = if e.spec.is_full() { "N/A".to_string() } else { e.spec.start_unit.to_string() };
+        let i_str = if e.spec.is_full() {
+            "N/A".to_string()
+        } else {
+            e.spec.start_unit.to_string()
+        };
         rows.push(vec![
             e.name(),
-            if e.spec.is_full() { "1.00".into() } else { format!("{:.2}", e.spec.r_w) },
+            if e.spec.is_full() {
+                "1.00".into()
+            } else {
+                format!("{:.2}", e.spec.r_w)
+            },
             i_str,
             format!("{:.2}M", c.params as f64 / 1e6),
             format!("{:.2}M", c.macs as f64 / 1e6),

@@ -48,7 +48,11 @@ fn main() {
                 ("a=0.3", Partition::Dirichlet(0.3)),
             ],
         ),
-        ("SynFEMNIST", syn_femnist(), vec![("writer", Partition::ByGroup)]),
+        (
+            "SynFEMNIST",
+            syn_femnist(),
+            vec![("writer", Partition::ByGroup)],
+        ),
     ];
 
     let mut cells: Vec<Cell> = Vec::new();
@@ -68,7 +72,12 @@ fn main() {
                 for kind in MethodKind::table2_lineup() {
                     let r = sim.run(kind);
                     let (avg, full) = (r.best_avg_accuracy(), r.best_full_accuracy());
-                    println!("  {:<12} avg {:>5}%  full {:>5}%", r.method, pct(avg), pct(full));
+                    println!(
+                        "  {:<12} avg {:>5}%  full {:>5}%",
+                        r.method,
+                        pct(avg),
+                        pct(full)
+                    );
                     cells.push(Cell {
                         model: model_name.to_string(),
                         dataset: ds_name.to_string(),
@@ -109,8 +118,8 @@ fn main() {
     print_table(
         "Table 2: accuracy avg/full (%) — paper shape: AdaptiveFL best in every column",
         &[
-            "model", "method", "C10 IID", "C10 a.6", "C10 a.3", "C100 IID", "C100 a.6",
-            "C100 a.3", "FEMNIST",
+            "model", "method", "C10 IID", "C10 a.6", "C10 a.3", "C100 IID", "C100 a.6", "C100 a.3",
+            "FEMNIST",
         ],
         &rows,
     );

@@ -6,7 +6,9 @@
 //! cargo run --release -p adaptivefl-bench --bin table3 [--full]
 //! ```
 
-use adaptivefl_bench::{experiment_cfg, paper_models, pct, print_table, syn_cifar10, write_json, Args};
+use adaptivefl_bench::{
+    experiment_cfg, paper_models, pct, print_table, syn_cifar10, write_json, Args,
+};
 use adaptivefl_core::methods::MethodKind;
 use adaptivefl_core::sim::Simulation;
 use adaptivefl_data::Partition;
@@ -24,8 +26,12 @@ fn main() {
     let args = Args::parse();
     let spec = syn_cifar10();
     let [(_, vgg), _] = paper_models(spec.classes, spec.input);
-    let proportions: [(&str, (usize, usize, usize)); 4] =
-        [("4:3:3", (4, 3, 3)), ("8:1:1", (8, 1, 1)), ("1:8:1", (1, 8, 1)), ("1:1:8", (1, 1, 8))];
+    let proportions: [(&str, (usize, usize, usize)); 4] = [
+        ("4:3:3", (4, 3, 3)),
+        ("8:1:1", (8, 1, 1)),
+        ("1:8:1", (1, 8, 1)),
+        ("1:1:8", (1, 1, 8)),
+    ];
     let methods = [
         MethodKind::AllLarge,
         MethodKind::HeteroFl,
@@ -42,8 +48,18 @@ fn main() {
         for kind in methods {
             let r = sim.run(kind);
             let (avg, full) = (r.best_avg_accuracy(), r.best_full_accuracy());
-            println!("  {:<12} avg {:>5}%  full {:>5}%", r.method, pct(avg), pct(full));
-            cells.push(Cell { proportion: pname.to_string(), method: r.method, avg, full });
+            println!(
+                "  {:<12} avg {:>5}%  full {:>5}%",
+                r.method,
+                pct(avg),
+                pct(full)
+            );
+            cells.push(Cell {
+                proportion: pname.to_string(),
+                method: r.method,
+                avg,
+                full,
+            });
         }
     }
 

@@ -32,7 +32,10 @@ fn main() {
     ];
     let mut cells = Vec::new();
 
-    for (ds_name, spec) in [("SynCIFAR-10", syn_cifar10()), ("SynCIFAR-100", syn_cifar100())] {
+    for (ds_name, spec) in [
+        ("SynCIFAR-10", syn_cifar10()),
+        ("SynCIFAR-100", syn_cifar100()),
+    ] {
         for (model_name, model) in paper_models(spec.classes, spec.input) {
             for (part_name, partition) in partitions {
                 for (grained, p) in [("coarse", 1usize), ("fine", 3usize)] {

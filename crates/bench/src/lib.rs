@@ -144,8 +144,22 @@ pub fn paper_models(
     input: (usize, usize, usize),
 ) -> [(&'static str, ModelConfig); 2] {
     [
-        ("VGG16", ModelConfig { input, classes, ..ModelConfig::vgg16_fast(classes) }),
-        ("ResNet18", ModelConfig { input, classes, ..ModelConfig::resnet18_fast(classes) }),
+        (
+            "VGG16",
+            ModelConfig {
+                input,
+                classes,
+                ..ModelConfig::vgg16_fast(classes)
+            },
+        ),
+        (
+            "ResNet18",
+            ModelConfig {
+                input,
+                classes,
+                ..ModelConfig::resnet18_fast(classes)
+            },
+        ),
     ]
 }
 
@@ -185,8 +199,22 @@ mod tests {
     fn experiment_cfg_scales_with_full() {
         let spec = syn_cifar10();
         let [(_, m), _] = paper_models(spec.classes, spec.input);
-        let fast = experiment_cfg(m, Args { full: false, seed: 1 }, false);
-        let full = experiment_cfg(m, Args { full: true, seed: 1 }, true);
+        let fast = experiment_cfg(
+            m,
+            Args {
+                full: false,
+                seed: 1,
+            },
+            false,
+        );
+        let full = experiment_cfg(
+            m,
+            Args {
+                full: true,
+                seed: 1,
+            },
+            true,
+        );
         assert!(full.rounds > fast.rounds);
         assert!(full.samples_per_client > fast.samples_per_client);
     }

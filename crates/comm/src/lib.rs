@@ -1,0 +1,31 @@
+//! adaptivefl-comm: simulated federated transport for AdaptiveFL.
+//!
+//! The core crate's [`Transport`](adaptivefl_core::Transport) trait
+//! abstracts the client↔server exchange; this crate supplies the
+//! realistic implementation:
+//!
+//! - [`wire`] — typed binary messages ([`ModelDown`], [`UpdateUp`])
+//!   with dense and quantized payload codecs and panic-free decoding.
+//! - [`faults`] — a seeded [`FaultPlan`] injecting upload drops,
+//!   stragglers, client crashes and payload truncation per link.
+//! - [`executor`] — parallel client execution on crossbeam scoped
+//!   threads with per-client derived RNG streams; deterministic at any
+//!   thread count.
+//! - [`transport`] — [`SimTransport`], tying the above together with
+//!   round-deadline semantics (late uploads are wasted communication
+//!   and count as training failures toward AdaptiveFL's `T_r` table).
+//!
+//! The default transport everywhere remains
+//! [`PerfectTransport`](adaptivefl_core::PerfectTransport), which
+//! reproduces the pre-transport simulation bit for bit; `SimTransport`
+//! is opt-in via
+//! [`Simulation::run_with_transport`](adaptivefl_core::sim::Simulation::run_with_transport).
+
+pub mod executor;
+pub mod faults;
+pub mod transport;
+pub mod wire;
+
+pub use faults::{FaultDraw, FaultPlan};
+pub use transport::SimTransport;
+pub use wire::{DownConfig, ModelDown, UpdateUp, WireCodec};

@@ -1,0 +1,369 @@
+//! Binary wire encoding for the federated exchange.
+//!
+//! Two typed messages travel the simulated link: [`ModelDown`]
+//! (server → client: the dispatched submodel plus its dispatch
+//! configuration) and [`UpdateUp`] (client → server: the trained
+//! submodel with the client's data size). Frames are big-endian,
+//! magic-prefixed, and versioned; dense payloads carry raw `f32` bit
+//! patterns (lossless, NaN-preserving), while the
+//! [`WireCodec::Quantized`] variant rides on the int8 frame format of
+//! [`adaptivefl_core::compress`] for ~4× smaller uplinks at bounded
+//! error.
+//!
+//! Decoding never panics: truncated or corrupt frames return
+//! [`CoreError::MalformedFrame`], which the transport treats as a lost
+//! upload.
+
+use adaptivefl_core::compress::{FrameReader, QuantizedMap};
+use adaptivefl_core::CoreError;
+use adaptivefl_nn::ParamMap;
+use adaptivefl_tensor::Tensor;
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Frame magic: `AFL1` in ASCII.
+pub const MAGIC: u32 = 0x4146_4C31;
+/// Wire format version.
+pub const VERSION: u8 = 1;
+
+const MSG_MODEL_DOWN: u8 = 1;
+const MSG_UPDATE_UP: u8 = 2;
+const CODEC_DENSE: u8 = 0;
+const CODEC_QUANTIZED: u8 = 1;
+
+/// Parameter payload encoding for the uplink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireCodec {
+    /// Raw `f32` bit patterns — lossless, 4 bytes per element.
+    Dense,
+    /// Int8 affine quantisation via
+    /// [`QuantizedMap`] — ~4× smaller, lossy within
+    /// [`QuantizedMap::max_error_bound`].
+    Quantized,
+}
+
+/// Dispatch configuration riding on the downlink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DownConfig {
+    /// Pool index (or method-specific tag) of the dispatched model.
+    pub pool_index: u32,
+    /// Round deadline in milliseconds (0 = no deadline).
+    pub deadline_ms: u64,
+}
+
+/// Server → client: the dispatched submodel for one round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelDown {
+    /// Round index.
+    pub round: u32,
+    /// Dispatch configuration.
+    pub config: DownConfig,
+    /// The dispatched parameters.
+    pub params: ParamMap,
+}
+
+/// Client → server: the trained submodel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateUp {
+    /// Round index.
+    pub round: u32,
+    /// Uploading client id.
+    pub client: u32,
+    /// Local data size `|d_c|` (the aggregation weight).
+    pub data_size: u32,
+    /// The trained parameters.
+    pub params: ParamMap,
+}
+
+/// Payload bytes of `params` elements sent as dense `f32`.
+pub fn dense_payload_bytes(params: u64) -> u64 {
+    params * 4
+}
+
+fn put_header(buf: &mut BytesMut, msg: u8) {
+    buf.put_u32(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(msg);
+}
+
+fn put_param_map(buf: &mut BytesMut, map: &ParamMap) {
+    buf.put_u32(map.len() as u32);
+    for (name, t) in map.iter() {
+        buf.put_u16(name.len() as u16);
+        buf.put_slice(name.as_bytes());
+        buf.put_u8(t.shape().len() as u8);
+        for &d in t.shape() {
+            buf.put_u32(d as u32);
+        }
+        for &v in t.as_slice() {
+            buf.put_u32(v.to_bits());
+        }
+    }
+}
+
+fn read_header(r: &mut FrameReader<'_>, want_msg: u8) -> Result<(), CoreError> {
+    let magic = r.u32()?;
+    if magic != MAGIC {
+        return Err(CoreError::MalformedFrame(format!(
+            "bad magic {magic:#010x}"
+        )));
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(CoreError::MalformedFrame(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let msg = r.u8()?;
+    if msg != want_msg {
+        return Err(CoreError::MalformedFrame(format!(
+            "unexpected message type {msg}, want {want_msg}"
+        )));
+    }
+    Ok(())
+}
+
+fn read_param_map(r: &mut FrameReader<'_>) -> Result<ParamMap, CoreError> {
+    let count = r.u32()? as usize;
+    let mut map = ParamMap::new();
+    for _ in 0..count {
+        let name_len = r.u16()? as usize;
+        let name = String::from_utf8(r.bytes(name_len)?.to_vec())
+            .map_err(|_| CoreError::MalformedFrame("non-utf8 parameter name".into()))?;
+        let ndim = r.u8()? as usize;
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(r.u32()? as usize);
+        }
+        let numel: usize = shape.iter().product();
+        // Bound the allocation by what the frame can actually hold so a
+        // corrupt shape cannot become an allocation bomb.
+        if r.remaining() < numel * 4 {
+            return Err(CoreError::MalformedFrame(format!(
+                "{name}: {numel} elements exceed remaining frame"
+            )));
+        }
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            data.push(f32::from_bits(r.u32()?));
+        }
+        if map
+            .insert(name.clone(), Tensor::from_vec(data, &shape))
+            .is_some()
+        {
+            return Err(CoreError::MalformedFrame(format!(
+                "duplicate parameter {name}"
+            )));
+        }
+    }
+    Ok(map)
+}
+
+/// Encodes a [`ModelDown`] frame (dense payload).
+pub fn encode_model_down(msg: &ModelDown) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + msg.params.byte_size());
+    put_header(&mut buf, MSG_MODEL_DOWN);
+    buf.put_u32(msg.round);
+    buf.put_u32(msg.config.pool_index);
+    buf.put_u64(msg.config.deadline_ms);
+    put_param_map(&mut buf, &msg.params);
+    buf.freeze()
+}
+
+/// Decodes a [`ModelDown`] frame.
+pub fn decode_model_down(frame: &[u8]) -> Result<ModelDown, CoreError> {
+    let mut r = FrameReader::new(frame);
+    read_header(&mut r, MSG_MODEL_DOWN)?;
+    let round = r.u32()?;
+    let pool_index = r.u32()?;
+    let deadline_ms = r.u64()?;
+    let params = read_param_map(&mut r)?;
+    if !r.is_empty() {
+        return Err(CoreError::MalformedFrame(
+            "trailing bytes after frame".into(),
+        ));
+    }
+    Ok(ModelDown {
+        round,
+        config: DownConfig {
+            pool_index,
+            deadline_ms,
+        },
+        params,
+    })
+}
+
+/// Encodes an [`UpdateUp`] frame with the chosen payload codec.
+pub fn encode_update_up(msg: &UpdateUp, codec: WireCodec) -> Bytes {
+    let mut buf = BytesMut::with_capacity(20 + msg.params.byte_size());
+    put_header(&mut buf, MSG_UPDATE_UP);
+    buf.put_u32(msg.round);
+    buf.put_u32(msg.client);
+    buf.put_u32(msg.data_size);
+    match codec {
+        WireCodec::Dense => {
+            buf.put_u8(CODEC_DENSE);
+            put_param_map(&mut buf, &msg.params);
+        }
+        WireCodec::Quantized => {
+            buf.put_u8(CODEC_QUANTIZED);
+            let inner = QuantizedMap::quantize(&msg.params).to_frame();
+            buf.put_u32(inner.len() as u32);
+            buf.put_slice(&inner);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes an [`UpdateUp`] frame (either codec). Quantized payloads
+/// are dequantised back to a dense [`ParamMap`].
+pub fn decode_update_up(frame: &[u8]) -> Result<UpdateUp, CoreError> {
+    let mut r = FrameReader::new(frame);
+    read_header(&mut r, MSG_UPDATE_UP)?;
+    let round = r.u32()?;
+    let client = r.u32()?;
+    let data_size = r.u32()?;
+    let codec = r.u8()?;
+    let params = match codec {
+        CODEC_DENSE => read_param_map(&mut r)?,
+        CODEC_QUANTIZED => {
+            let len = r.u32()? as usize;
+            let inner = r.bytes(len)?;
+            QuantizedMap::from_frame(inner)?.dequantize()
+        }
+        other => {
+            return Err(CoreError::MalformedFrame(format!("unknown codec {other}")));
+        }
+    };
+    if !r.is_empty() {
+        return Err(CoreError::MalformedFrame(
+            "trailing bytes after frame".into(),
+        ));
+    }
+    Ok(UpdateUp {
+        round,
+        client,
+        data_size,
+        params,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptivefl_tensor::{init, rng};
+
+    fn sample_map() -> ParamMap {
+        let mut r = rng::seeded(7);
+        let mut m = ParamMap::new();
+        m.insert("conv.weight", init::normal(&[4, 3, 3, 3], 0.1, &mut r));
+        m.insert("conv.bias", Tensor::zeros(&[4]));
+        m.insert("fc.weight", init::normal(&[2, 36], 0.1, &mut r));
+        m
+    }
+
+    #[test]
+    fn update_up_dense_roundtrips_exactly() {
+        let msg = UpdateUp {
+            round: 3,
+            client: 17,
+            data_size: 12,
+            params: sample_map(),
+        };
+        let frame = encode_update_up(&msg, WireCodec::Dense);
+        let back = decode_update_up(&frame).expect("intact frame");
+        assert_eq!(msg, back);
+    }
+
+    #[test]
+    fn model_down_roundtrips_exactly() {
+        let msg = ModelDown {
+            round: 9,
+            config: DownConfig {
+                pool_index: 4,
+                deadline_ms: 30_000,
+            },
+            params: sample_map(),
+        };
+        let frame = encode_model_down(&msg);
+        let back = decode_model_down(&frame).expect("intact frame");
+        assert_eq!(msg, back);
+    }
+
+    #[test]
+    fn non_finite_values_survive_dense() {
+        let mut params = ParamMap::new();
+        params.insert(
+            "w",
+            Tensor::from_vec(vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0], &[4]),
+        );
+        let msg = UpdateUp {
+            round: 0,
+            client: 0,
+            data_size: 1,
+            params,
+        };
+        let back = decode_update_up(&encode_update_up(&msg, WireCodec::Dense)).unwrap();
+        let w = back.params.get("w").unwrap().as_slice().to_vec();
+        assert!(w[0].is_nan());
+        assert_eq!(w[1], f32::INFINITY);
+        assert_eq!(w[2], f32::NEG_INFINITY);
+        assert_eq!(w[3].to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn quantized_codec_is_smaller_and_bounded() {
+        let msg = UpdateUp {
+            round: 1,
+            client: 2,
+            data_size: 8,
+            params: sample_map(),
+        };
+        let dense = encode_update_up(&msg, WireCodec::Dense);
+        let packed = encode_update_up(&msg, WireCodec::Quantized);
+        assert!(
+            packed.len() * 2 < dense.len(),
+            "{} vs {}",
+            packed.len(),
+            dense.len()
+        );
+        let back = decode_update_up(&packed).expect("quantized frame decodes");
+        let bound = QuantizedMap::max_error_bound(&msg.params);
+        for (name, t) in msg.params.iter() {
+            let r = back.params.get(name).expect("name preserved");
+            for (a, b) in t.as_slice().iter().zip(r.as_slice()) {
+                assert!((a - b).abs() <= bound * 0.51 + 1e-6, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_strict_prefix_errors() {
+        let msg = UpdateUp {
+            round: 3,
+            client: 17,
+            data_size: 12,
+            params: sample_map(),
+        };
+        let frame = encode_update_up(&msg, WireCodec::Dense);
+        for cut in 0..frame.len() {
+            assert!(
+                decode_update_up(&frame[..cut]).is_err(),
+                "prefix {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_message_type_is_rejected() {
+        let msg = ModelDown {
+            round: 0,
+            config: DownConfig {
+                pool_index: 0,
+                deadline_ms: 0,
+            },
+            params: ParamMap::new(),
+        };
+        let frame = encode_model_down(&msg);
+        assert!(decode_update_up(&frame).is_err());
+    }
+}

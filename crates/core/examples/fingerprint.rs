@@ -1,0 +1,49 @@
+//! Bit-identity fingerprint: print the legacy round/eval fields of a
+//! quick-test run for every method, for diffing across refactors
+//! (`cargo run --release -p adaptivefl-core --example fingerprint`).
+//! The simulator is deterministic, so any accounting or RNG-stream
+//! drift shows up as a diff.
+
+use adaptivefl_core::methods::MethodKind;
+use adaptivefl_core::select::SelectionStrategy;
+use adaptivefl_core::sim::{SimConfig, Simulation};
+use adaptivefl_data::{Partition, SynthSpec};
+
+fn main() {
+    let mut spec = SynthSpec::test_spec(4);
+    spec.input = (3, 8, 8);
+    for kind in [
+        MethodKind::AdaptiveFl,
+        MethodKind::AdaptiveFlGreedy,
+        MethodKind::AdaptiveFlVariant(SelectionStrategy::Random),
+        MethodKind::AllLarge,
+        MethodKind::Decoupled,
+        MethodKind::HeteroFl,
+        MethodKind::ScaleFl,
+    ] {
+        let cfg = SimConfig::quick_test(900);
+        let mut sim = Simulation::prepare(&cfg, &spec, Partition::Dirichlet(0.5));
+        let res = sim.run(kind);
+        // Strip the comm field (absent pre-refactor) by printing the
+        // legacy fields only.
+        for r in &res.rounds {
+            println!(
+                "{kind} r{} sent={} back={} loss={:.9} secs={:.9} fail={}",
+                r.round, r.sent_params, r.returned_params, r.train_loss, r.sim_secs, r.failures
+            );
+        }
+        for e in &res.evals {
+            let levels: Vec<String> = e
+                .levels
+                .iter()
+                .map(|(n, a)| format!("{n}:{a:.9}"))
+                .collect();
+            println!(
+                "{kind} e{} full={:.9} {}",
+                e.round,
+                e.full,
+                levels.join(" ")
+            );
+        }
+    }
+}

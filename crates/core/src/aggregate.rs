@@ -84,17 +84,31 @@ mod tests {
     #[test]
     fn homogeneous_uploads_reduce_to_fedavg() {
         let mut global = map(&[("w", Tensor::zeros(&[2, 2]))]);
-        let u1 = Upload { params: map(&[("w", Tensor::full(&[2, 2], 1.0))]), weight: 10.0 };
-        let u2 = Upload { params: map(&[("w", Tensor::full(&[2, 2], 4.0))]), weight: 30.0 };
+        let u1 = Upload {
+            params: map(&[("w", Tensor::full(&[2, 2], 1.0))]),
+            weight: 10.0,
+        };
+        let u2 = Upload {
+            params: map(&[("w", Tensor::full(&[2, 2], 4.0))]),
+            weight: 30.0,
+        };
         aggregate(&mut global, &[u1, u2]);
         // (1·10 + 4·30)/40 = 3.25 everywhere.
-        assert!(global.get("w").unwrap().as_slice().iter().all(|&v| (v - 3.25).abs() < 1e-6));
+        assert!(global
+            .get("w")
+            .unwrap()
+            .as_slice()
+            .iter()
+            .all(|&v| (v - 3.25).abs() < 1e-6));
     }
 
     #[test]
     fn uncovered_elements_keep_previous_values() {
         let mut global = map(&[("w", Tensor::full(&[3, 3], 7.0))]);
-        let small = Upload { params: map(&[("w", Tensor::full(&[2, 2], 1.0))]), weight: 5.0 };
+        let small = Upload {
+            params: map(&[("w", Tensor::full(&[2, 2], 1.0))]),
+            weight: 5.0,
+        };
         aggregate(&mut global, &[small]);
         let g = global.get("w").unwrap();
         assert_eq!(g.at(&[0, 0]), 1.0);
@@ -107,8 +121,14 @@ mod tests {
     fn heterogeneous_overlap_weights_by_data_size() {
         let mut global = map(&[("w", Tensor::zeros(&[2]))]);
         // Small client covers element 0 only; big client covers both.
-        let small = Upload { params: map(&[("w", Tensor::full(&[1], 0.0))]), weight: 10.0 };
-        let big = Upload { params: map(&[("w", Tensor::full(&[2], 3.0))]), weight: 10.0 };
+        let small = Upload {
+            params: map(&[("w", Tensor::full(&[1], 0.0))]),
+            weight: 10.0,
+        };
+        let big = Upload {
+            params: map(&[("w", Tensor::full(&[2], 3.0))]),
+            weight: 10.0,
+        };
         aggregate(&mut global, &[small, big]);
         let g = global.get("w").unwrap();
         assert!((g.as_slice()[0] - 1.5).abs() < 1e-6); // (0·10+3·10)/20
@@ -122,7 +142,10 @@ mod tests {
             ("deep", Tensor::full(&[2], 9.0)),
             ("shallow", Tensor::zeros(&[2])),
         ]);
-        let u = Upload { params: map(&[("shallow", Tensor::ones(&[2]))]), weight: 1.0 };
+        let u = Upload {
+            params: map(&[("shallow", Tensor::ones(&[2]))]),
+            weight: 1.0,
+        };
         aggregate(&mut global, &[u]);
         assert_eq!(global.get("deep").unwrap().as_slice(), &[9.0, 9.0]);
         assert_eq!(global.get("shallow").unwrap().as_slice(), &[1.0, 1.0]);
@@ -140,7 +163,10 @@ mod tests {
     #[should_panic(expected = "weight must be positive")]
     fn rejects_zero_weight() {
         let mut global = map(&[("w", Tensor::zeros(&[1]))]);
-        let u = Upload { params: map(&[("w", Tensor::zeros(&[1]))]), weight: 0.0 };
+        let u = Upload {
+            params: map(&[("w", Tensor::zeros(&[1]))]),
+            weight: 0.0,
+        };
         aggregate(&mut global, &[u]);
     }
 

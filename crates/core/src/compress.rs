@@ -12,6 +12,8 @@ use adaptivefl_tensor::Tensor;
 use bytes::{BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 
+use crate::error::CoreError;
+
 /// A per-tensor linearly quantised (int8) parameter map.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QuantizedMap {
@@ -112,6 +114,50 @@ impl QuantizedMap {
         buf.freeze()
     }
 
+    /// Parses a frame produced by [`QuantizedMap::to_frame`].
+    ///
+    /// Never panics: truncated or corrupt frames return
+    /// [`CoreError::MalformedFrame`], which transports treat as a lost
+    /// upload.
+    pub fn from_frame(frame: &[u8]) -> Result<Self, CoreError> {
+        let mut r = FrameReader::new(frame);
+        let count = r.u32()? as usize;
+        let mut entries = Vec::new();
+        for _ in 0..count {
+            let name_len = r.u16()? as usize;
+            let name = String::from_utf8(r.bytes(name_len)?.to_vec())
+                .map_err(|_| CoreError::MalformedFrame("non-utf8 tensor name".into()))?;
+            let ndim = r.u8()? as usize;
+            let mut shape = Vec::with_capacity(ndim);
+            for _ in 0..ndim {
+                shape.push(r.u32()? as usize);
+            }
+            let scale = f32::from_bits(r.u32()?);
+            let offset = f32::from_bits(r.u32()?);
+            let n_codes = r.u32()? as usize;
+            let numel: usize = shape.iter().product();
+            if numel != n_codes {
+                return Err(CoreError::MalformedFrame(format!(
+                    "{name}: {n_codes} codes for shape {shape:?}"
+                )));
+            }
+            let codes = r.bytes(n_codes)?.iter().map(|&b| b as i8).collect();
+            entries.push(QuantizedTensor {
+                name,
+                shape,
+                scale,
+                offset,
+                codes,
+            });
+        }
+        if !r.is_empty() {
+            return Err(CoreError::MalformedFrame(
+                "trailing bytes after frame".into(),
+            ));
+        }
+        Ok(QuantizedMap { entries })
+    }
+
     /// Worst-case absolute reconstruction error of the quantiser for a
     /// given map (half a quantisation step per tensor, maximised).
     pub fn max_error_bound(map: &ParamMap) -> f32 {
@@ -130,6 +176,69 @@ impl QuantizedMap {
                 }
             })
             .fold(0.0, f32::max)
+    }
+}
+
+/// A bounds-checked big-endian frame reader: every read returns
+/// [`CoreError::MalformedFrame`] on underflow instead of panicking,
+/// so decoders can safely consume frames truncated in transit.
+pub struct FrameReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameReader<'a> {
+    /// Wraps a byte slice for reading from the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        FrameReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// `true` when the frame is fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], CoreError> {
+        if self.remaining() < n {
+            return Err(CoreError::MalformedFrame(format!(
+                "frame truncated: need {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CoreError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, CoreError> {
+        let b = self.bytes(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CoreError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CoreError> {
+        let b = self.bytes(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_be_bytes(a))
     }
 }
 
@@ -190,6 +299,28 @@ mod tests {
     }
 
     #[test]
+    fn frame_roundtrips() {
+        let q = QuantizedMap::quantize(&sample_map());
+        let frame = q.to_frame();
+        let back = QuantizedMap::from_frame(&frame).expect("intact frame decodes");
+        assert_eq!(q, back);
+    }
+
+    #[test]
+    fn truncated_frames_error_not_panic() {
+        let q = QuantizedMap::quantize(&sample_map());
+        let frame = q.to_frame();
+        for cut in [0, 1, 3, 7, frame.len() / 2, frame.len() - 1] {
+            let r = QuantizedMap::from_frame(&frame[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes decoded");
+        }
+        // Trailing garbage is rejected too.
+        let mut long = frame.to_vec();
+        long.push(0);
+        assert!(QuantizedMap::from_frame(&long).is_err());
+    }
+
+    #[test]
     fn quantized_upload_still_aggregates() {
         // End-to-end: quantise an upload, dequantise, aggregate — the
         // global model moves toward the upload within quantiser error.
@@ -199,7 +330,13 @@ mod tests {
         let mut upload = ParamMap::new();
         upload.insert("w", Tensor::from_vec(vec![0.1, -0.2, 0.3, 0.4], &[4]));
         let q = QuantizedMap::quantize(&upload).dequantize();
-        aggregate(&mut global, &[Upload { params: q, weight: 1.0 }]);
+        aggregate(
+            &mut global,
+            &[Upload {
+                params: q,
+                weight: 1.0,
+            }],
+        );
         let g = global.get("w").unwrap();
         assert!((g.as_slice()[3] - 0.4).abs() < 0.01);
     }

@@ -7,6 +7,8 @@ pub enum CoreError {
     InvalidConfig(String),
     /// A parameter expected in a model exchange was missing.
     MissingParameter(String),
+    /// A binary frame could not be decoded (truncated or corrupt).
+    MalformedFrame(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -14,6 +16,7 @@ impl std::fmt::Display for CoreError {
         match self {
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             CoreError::MissingParameter(name) => write!(f, "missing parameter {name}"),
+            CoreError::MalformedFrame(msg) => write!(f, "malformed frame: {msg}"),
         }
     }
 }

@@ -22,6 +22,10 @@
 //! * [`sim`] — the round-loop simulator that produces the metrics the
 //!   paper reports (accuracy per level, learning curves,
 //!   communication-waste rate, simulated wall-clock).
+//! * [`transport`] — the client↔server exchange abstraction every
+//!   method routes through: [`PerfectTransport`](transport::PerfectTransport)
+//!   is the lossless default; the `adaptivefl-comm` crate provides a
+//!   faulty, deadline-enforcing, parallel `SimTransport`.
 //!
 //! # Example
 //!
@@ -51,6 +55,8 @@ pub mod rl;
 pub mod select;
 pub mod sim;
 pub mod trainer;
+pub mod transport;
 
 pub use error::CoreError;
 pub use pool::{Level, ModelPool, PoolEntry};
+pub use transport::{CommStats, PerfectTransport, Transport};

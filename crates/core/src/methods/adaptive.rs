@@ -14,6 +14,7 @@ use crate::rl::RlState;
 use crate::select::{select_client, SelectionStrategy};
 use crate::sim::Env;
 use crate::trainer::evaluate;
+use crate::transport::{ClientJob, JobFn, LocalOutcome, Transport};
 
 /// AdaptiveFL server state: the full global model, the RL tables, and
 /// the selection strategy (ablation variants reuse this struct).
@@ -67,7 +68,13 @@ impl FlMethod for AdaptiveFl {
         }
     }
 
-    fn round(&mut self, env: &Env, round: usize, rng: &mut ChaCha8Rng) -> RoundRecord {
+    fn round(
+        &mut self,
+        env: &Env,
+        round: usize,
+        transport: &mut dyn Transport,
+        rng: &mut ChaCha8Rng,
+    ) -> RoundRecord {
         let pool = &env.pool;
         let k = env.cfg.clients_per_round;
         let mut eligible = env.eligible_clients(round);
@@ -99,58 +106,94 @@ impl FlMethod for AdaptiveFl {
             assignments.push((m_idx, c));
         }
 
-        // Steps 4-5: local training with client-side adaptive pruning.
-        let mut uploads = Vec::with_capacity(assignments.len());
+        // Steps 4-5: dispatch one job per assignment; the closure is
+        // the client side — adaptive pruning to the currently available
+        // resources, then local training.
+        let global = &self.global;
+        let mut jobs: Vec<ClientJob<'_>> = Vec::with_capacity(assignments.len());
         let mut sent = 0u64;
-        let mut returned = 0u64;
-        let mut loss_acc = 0.0f32;
-        let mut trained = 0usize;
-        let mut failures = 0usize;
-        let mut slowest = 0.0f64;
-
         for &(m_idx, c) in &assignments {
             let entry = pool.entry(m_idx);
             self.rl.update_on_dispatch(entry.level, c);
             sent += entry.params;
 
-            let capacity = env.fleet.device(c).capacity_at(round);
-            let Some(fit) = pool.largest_fitting(m_idx, capacity) else {
-                self.rl.update_on_return(pool, m_idx, None, c);
-                failures += 1;
-                // The dispatched model still travelled down the link.
-                let secs = super::client_secs(env, c, 0, 0, entry.params, 0);
-                slowest = slowest.max(secs);
-                continue;
-            };
-            let fit_idx = fit.index;
-
-            let sub = extract_submodel(&self.global, &env.cfg.model, &fit.plan);
-            let mut net = env.cfg.model.build(&fit.plan, rng);
-            net.load_param_map(&sub);
-            let data = env.data.client(c);
-            let loss = env.cfg.local.train(&mut net, data, rng);
-            loss_acc += loss;
-            trained += 1;
-
-            let macs = cost_of(&env.cfg.model.full_blueprint(&fit.plan), env.cfg.model.input).macs;
-            let secs = super::client_secs(env, c, macs, data.len(), entry.params, fit.params);
-            slowest = slowest.max(secs);
-            returned += fit.params;
-
-            uploads.push(Upload { params: net.param_map(), weight: data.len() as f32 });
-            self.rl.update_on_return(pool, m_idx, Some(fit_idx), c);
+            let run: JobFn<'_> = Box::new(move |rng: &mut ChaCha8Rng| {
+                let capacity = env.fleet.device(c).capacity_at(round);
+                let Some(fit) = pool.largest_fitting(m_idx, capacity) else {
+                    // The dispatched model still travelled down the
+                    // link; the transport charges the downlink.
+                    return LocalOutcome::failure();
+                };
+                let sub = extract_submodel(global, &env.cfg.model, &fit.plan);
+                let mut net = env.cfg.model.build(&fit.plan, rng);
+                net.load_param_map(&sub);
+                let data = env.data.client(c);
+                let loss = env.cfg.local.train(&mut net, data, rng);
+                let macs = cost_of(
+                    &env.cfg.model.full_blueprint(&fit.plan),
+                    env.cfg.model.input,
+                )
+                .macs;
+                LocalOutcome {
+                    upload: Some(Upload {
+                        params: net.param_map(),
+                        weight: data.len() as f32,
+                    }),
+                    loss,
+                    tag: fit.index,
+                    macs_per_sample: macs,
+                    samples: data.len(),
+                    up_params: fit.params,
+                }
+            });
+            jobs.push(ClientJob {
+                client: c,
+                tag: m_idx,
+                down_params: entry.params,
+                run,
+            });
         }
 
-        // Step 6: heterogeneous aggregation.
+        let exchange = transport.exchange(env, round, jobs, rng);
+
+        // Step 6: consume deliveries — RL return updates, then
+        // heterogeneous aggregation of whatever survived the link.
+        let mut uploads = Vec::with_capacity(exchange.deliveries.len());
+        let mut returned = 0u64;
+        let mut loss_acc = 0.0f32;
+        let mut trained = 0usize;
+        let mut failures = 0usize;
+        for d in exchange.deliveries {
+            if d.status.is_delivered() {
+                returned += d.up_params;
+                loss_acc += d.loss;
+                trained += 1;
+                uploads.push(d.upload.expect("delivered upload present"));
+                self.rl
+                    .update_on_return(pool, d.tag, Some(d.client_tag), d.client);
+            } else {
+                // Resource failures and transport losses (drops, late
+                // uploads, crashes) look the same from the server: the
+                // dispatched model never came back, so `T_r` records a
+                // total failure.
+                self.rl.update_on_return(pool, d.tag, None, d.client);
+                failures += 1;
+            }
+        }
         aggregate(&mut self.global, &uploads);
 
         RoundRecord {
             round,
             sent_params: sent,
             returned_params: returned,
-            train_loss: if trained > 0 { loss_acc / trained as f32 } else { 0.0 },
-            sim_secs: slowest,
+            train_loss: if trained > 0 {
+                loss_acc / trained as f32
+            } else {
+                0.0
+            },
+            sim_secs: exchange.round_secs,
             failures,
+            comm: exchange.stats,
         }
     }
 
@@ -160,10 +203,17 @@ impl FlMethod for AdaptiveFl {
             let sub = extract_submodel(&self.global, &env.cfg.model, &rep.plan);
             let mut net = env.cfg.model.build(&rep.plan, &mut env.eval_rng());
             net.load_param_map(&sub);
-            levels.push((rep.name(), evaluate(&mut net, env.data.test(), env.cfg.eval_batch)));
+            levels.push((
+                rep.name(),
+                evaluate(&mut net, env.data.test(), env.cfg.eval_batch),
+            ));
         }
         // Full accuracy = the L_1 (global) model, which is the last rep.
         let full = levels.last().map_or(0.0, |(_, a)| *a);
-        EvalRecord { round, full, levels }
+        EvalRecord {
+            round,
+            full,
+            levels,
+        }
     }
 }

@@ -8,10 +8,11 @@ use adaptivefl_nn::ParamMap;
 use rand_chacha::ChaCha8Rng;
 
 use crate::aggregate::{aggregate, Upload};
-use crate::methods::{client_secs, sample_clients, FlMethod};
+use crate::methods::{sample_clients, FlMethod};
 use crate::metrics::{EvalRecord, RoundRecord};
 use crate::sim::Env;
 use crate::trainer::evaluate;
+use crate::transport::{ClientJob, JobFn, LocalOutcome, Transport};
 
 /// FedAvg on `L_1` with uniformly sampled clients. Resource limits are
 /// deliberately ignored (the paper trains All-Large "with all clients
@@ -24,7 +25,9 @@ pub struct AllLarge {
 impl AllLarge {
     /// Initialises the global model.
     pub fn new(env: &Env) -> Self {
-        AllLarge { global: env.fresh_global() }
+        AllLarge {
+            global: env.fresh_global(),
+        }
     }
 }
 
@@ -33,38 +36,96 @@ impl FlMethod for AllLarge {
         "All-Large".to_string()
     }
 
-    fn round(&mut self, env: &Env, round: usize, rng: &mut ChaCha8Rng) -> RoundRecord {
+    fn round(
+        &mut self,
+        env: &Env,
+        round: usize,
+        transport: &mut dyn Transport,
+        rng: &mut ChaCha8Rng,
+    ) -> RoundRecord {
         let full = env.pool.largest();
         let clients = sample_clients(env, round, env.cfg.clients_per_round, rng);
-        let mut uploads = Vec::with_capacity(clients.len());
-        let mut loss_acc = 0.0;
-        let mut slowest = 0.0f64;
-        let macs = cost_of(&env.cfg.model.full_blueprint(&full.plan), env.cfg.model.input).macs;
+        let macs = cost_of(
+            &env.cfg.model.full_blueprint(&full.plan),
+            env.cfg.model.input,
+        )
+        .macs;
 
-        for &c in &clients {
-            let mut net = env.cfg.model.build(&full.plan, rng);
-            net.load_param_map(&self.global);
-            let data = env.data.client(c);
-            loss_acc += env.cfg.local.train(&mut net, data, rng);
-            slowest = slowest.max(client_secs(env, c, macs, data.len(), full.params, full.params));
-            uploads.push(Upload { params: net.param_map(), weight: data.len() as f32 });
+        let global = &self.global;
+        let jobs: Vec<ClientJob<'_>> = clients
+            .iter()
+            .map(|&c| {
+                let run: JobFn<'_> = Box::new(move |rng: &mut ChaCha8Rng| {
+                    let mut net = env.cfg.model.build(&full.plan, rng);
+                    net.load_param_map(global);
+                    let data = env.data.client(c);
+                    let loss = env.cfg.local.train(&mut net, data, rng);
+                    LocalOutcome {
+                        upload: Some(Upload {
+                            params: net.param_map(),
+                            weight: data.len() as f32,
+                        }),
+                        loss,
+                        tag: 0,
+                        macs_per_sample: macs,
+                        samples: data.len(),
+                        up_params: full.params,
+                    }
+                });
+                ClientJob {
+                    client: c,
+                    tag: 0,
+                    down_params: full.params,
+                    run,
+                }
+            })
+            .collect();
+
+        let exchange = transport.exchange(env, round, jobs, rng);
+
+        let mut uploads = Vec::with_capacity(exchange.deliveries.len());
+        let mut returned = 0u64;
+        let mut loss_acc = 0.0;
+        let mut trained = 0usize;
+        let mut failures = 0usize;
+        for d in exchange.deliveries {
+            if d.status.is_delivered() {
+                returned += d.up_params;
+                loss_acc += d.loss;
+                trained += 1;
+                uploads.push(d.upload.expect("delivered upload present"));
+            } else {
+                failures += 1;
+            }
         }
         aggregate(&mut self.global, &uploads);
 
         RoundRecord {
             round,
             sent_params: full.params * clients.len() as u64,
-            returned_params: full.params * clients.len() as u64,
-            train_loss: if clients.is_empty() { 0.0 } else { loss_acc / clients.len() as f32 },
-            sim_secs: slowest,
-            failures: 0,
+            returned_params: returned,
+            train_loss: if trained > 0 {
+                loss_acc / trained as f32
+            } else {
+                0.0
+            },
+            sim_secs: exchange.round_secs,
+            failures,
+            comm: exchange.stats,
         }
     }
 
     fn evaluate(&mut self, env: &Env, round: usize) -> EvalRecord {
-        let mut net = env.cfg.model.build(&env.pool.largest().plan, &mut env.eval_rng());
+        let mut net = env
+            .cfg
+            .model
+            .build(&env.pool.largest().plan, &mut env.eval_rng());
         net.load_param_map(&self.global);
         let full = evaluate(&mut net, env.data.test(), env.cfg.eval_batch);
-        EvalRecord { round, full, levels: Vec::new() }
+        EvalRecord {
+            round,
+            full,
+            levels: Vec::new(),
+        }
     }
 }

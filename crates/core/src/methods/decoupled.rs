@@ -8,10 +8,11 @@ use adaptivefl_nn::ParamMap;
 use rand_chacha::ChaCha8Rng;
 
 use crate::aggregate::{aggregate, Upload};
-use crate::methods::{client_secs, sample_clients, FlMethod};
+use crate::methods::{sample_clients, FlMethod};
 use crate::metrics::{EvalRecord, RoundRecord};
 use crate::sim::Env;
 use crate::trainer::evaluate;
+use crate::transport::{ClientJob, JobFn, LocalOutcome, Transport};
 
 /// Per-level global models (`S_1`, `M_1`, `L_1`), each trained only by
 /// the clients that can afford that level.
@@ -42,43 +43,76 @@ impl FlMethod for Decoupled {
         "Decoupled".to_string()
     }
 
-    fn round(&mut self, env: &Env, round: usize, rng: &mut ChaCha8Rng) -> RoundRecord {
+    fn round(
+        &mut self,
+        env: &Env,
+        round: usize,
+        transport: &mut dyn Transport,
+        rng: &mut ChaCha8Rng,
+    ) -> RoundRecord {
         let clients = sample_clients(env, round, env.cfg.clients_per_round, rng);
-        let mut per_level_uploads: Vec<Vec<Upload>> = vec![Vec::new(); self.levels.len()];
         let mut sent = 0u64;
-        let mut returned = 0u64;
-        let mut loss_acc = 0.0;
-        let mut trained = 0usize;
         let mut failures = 0usize;
-        let mut slowest = 0.0f64;
 
+        // A client with no affordable level is never dispatched to at
+        // all — no downlink is spent, unlike the other baselines.
+        let levels = &self.levels;
+        let mut jobs: Vec<ClientJob<'_>> = Vec::with_capacity(clients.len());
         for &c in &clients {
             let capacity = env.fleet.device(c).capacity_at(round);
             // Largest level that fits the client right now.
-            let Some(li) = self
-                .levels
+            let Some(li) = levels
                 .iter()
                 .rposition(|(_, _, params, _)| *params <= capacity)
             else {
                 failures += 1;
                 continue;
             };
-            let (_, plan, params, global) = &self.levels[li];
+            let params = levels[li].2;
             sent += params;
-            let mut net = env.cfg.model.build(plan, rng);
-            net.load_param_map(global);
-            let data = env.data.client(c);
-            loss_acc += env.cfg.local.train(&mut net, data, rng);
-            trained += 1;
-            let macs = cost_of(&env.cfg.model.full_blueprint(plan), env.cfg.model.input).macs;
-            slowest = slowest.max(client_secs(env, c, macs, data.len(), *params, *params));
-            returned += params;
-            per_level_uploads[li].push(Upload {
-                params: net.param_map(),
-                weight: data.len() as f32,
+            let run: JobFn<'_> = Box::new(move |rng: &mut ChaCha8Rng| {
+                let (_, plan, params, global) = &levels[li];
+                let mut net = env.cfg.model.build(plan, rng);
+                net.load_param_map(global);
+                let data = env.data.client(c);
+                let loss = env.cfg.local.train(&mut net, data, rng);
+                let macs = cost_of(&env.cfg.model.full_blueprint(plan), env.cfg.model.input).macs;
+                LocalOutcome {
+                    upload: Some(Upload {
+                        params: net.param_map(),
+                        weight: data.len() as f32,
+                    }),
+                    loss,
+                    tag: li,
+                    macs_per_sample: macs,
+                    samples: data.len(),
+                    up_params: *params,
+                }
+            });
+            jobs.push(ClientJob {
+                client: c,
+                tag: li,
+                down_params: params,
+                run,
             });
         }
 
+        let exchange = transport.exchange(env, round, jobs, rng);
+
+        let mut per_level_uploads: Vec<Vec<Upload>> = vec![Vec::new(); self.levels.len()];
+        let mut returned = 0u64;
+        let mut loss_acc = 0.0;
+        let mut trained = 0usize;
+        for d in exchange.deliveries {
+            if d.status.is_delivered() {
+                returned += d.up_params;
+                loss_acc += d.loss;
+                trained += 1;
+                per_level_uploads[d.tag].push(d.upload.expect("delivered upload present"));
+            } else {
+                failures += 1;
+            }
+        }
         for (li, uploads) in per_level_uploads.into_iter().enumerate() {
             aggregate(&mut self.levels[li].3, &uploads);
         }
@@ -87,9 +121,14 @@ impl FlMethod for Decoupled {
             round,
             sent_params: sent,
             returned_params: returned,
-            train_loss: if trained > 0 { loss_acc / trained as f32 } else { 0.0 },
-            sim_secs: slowest,
+            train_loss: if trained > 0 {
+                loss_acc / trained as f32
+            } else {
+                0.0
+            },
+            sim_secs: exchange.round_secs,
             failures,
+            comm: exchange.stats,
         }
     }
 
@@ -98,9 +137,16 @@ impl FlMethod for Decoupled {
         for (name, plan, _, global) in &self.levels {
             let mut net = env.cfg.model.build(plan, &mut env.eval_rng());
             net.load_param_map(global);
-            levels.push((name.clone(), evaluate(&mut net, env.data.test(), env.cfg.eval_batch)));
+            levels.push((
+                name.clone(),
+                evaluate(&mut net, env.data.test(), env.cfg.eval_batch),
+            ));
         }
         let full = levels.last().map_or(0.0, |(_, a)| *a);
-        EvalRecord { round, full, levels }
+        EvalRecord {
+            round,
+            full,
+            levels,
+        }
     }
 }

@@ -16,11 +16,12 @@ use adaptivefl_nn::ParamMap;
 use rand_chacha::ChaCha8Rng;
 
 use crate::aggregate::{aggregate, Upload};
-use crate::methods::{client_secs, sample_clients, FlMethod};
+use crate::methods::{sample_clients, FlMethod};
 use crate::metrics::{EvalRecord, RoundRecord};
 use crate::prune::extract_submodel;
 use crate::sim::Env;
 use crate::trainer::evaluate;
+use crate::transport::{ClientJob, JobFn, LocalOutcome, Transport};
 
 /// Uniform width ratios per level: 1.0× / 0.5× / 0.25× model size,
 /// i.e. width ratios 1.0 / √0.5 / 0.5 (params scale ≈ quadratically in
@@ -50,7 +51,10 @@ impl HeteroFl {
                 (name.to_string(), plan, params)
             })
             .collect();
-        HeteroFl { global: env.fresh_global(), levels }
+        HeteroFl {
+            global: env.fresh_global(),
+            levels,
+        }
     }
 
     fn level_for_class(&self, class: DeviceClass) -> usize {
@@ -67,37 +71,72 @@ impl FlMethod for HeteroFl {
         "HeteroFL".to_string()
     }
 
-    fn round(&mut self, env: &Env, round: usize, rng: &mut ChaCha8Rng) -> RoundRecord {
+    fn round(
+        &mut self,
+        env: &Env,
+        round: usize,
+        transport: &mut dyn Transport,
+        rng: &mut ChaCha8Rng,
+    ) -> RoundRecord {
         let clients = sample_clients(env, round, env.cfg.clients_per_round, rng);
-        let mut uploads = Vec::new();
         let mut sent = 0u64;
+
+        let global = &self.global;
+        let levels = &self.levels;
+        let mut jobs: Vec<ClientJob<'_>> = Vec::with_capacity(clients.len());
+        for &c in &clients {
+            let li = self.level_for_class(env.fleet.device(c).class());
+            let params = levels[li].2;
+            sent += params;
+            let run: JobFn<'_> = Box::new(move |rng: &mut ChaCha8Rng| {
+                let (_, plan, params) = &levels[li];
+                // No client-side adaptation: a resource dip below the
+                // assigned size fails the round for this client.
+                if env.fleet.device(c).capacity_at(round) < *params {
+                    return LocalOutcome::failure();
+                }
+                let sub = extract_submodel(global, &env.cfg.model, plan);
+                let mut net = env.cfg.model.build(plan, rng);
+                net.load_param_map(&sub);
+                let data = env.data.client(c);
+                let loss = env.cfg.local.train(&mut net, data, rng);
+                let macs = cost_of(&env.cfg.model.full_blueprint(plan), env.cfg.model.input).macs;
+                LocalOutcome {
+                    upload: Some(Upload {
+                        params: net.param_map(),
+                        weight: data.len() as f32,
+                    }),
+                    loss,
+                    tag: li,
+                    macs_per_sample: macs,
+                    samples: data.len(),
+                    up_params: *params,
+                }
+            });
+            jobs.push(ClientJob {
+                client: c,
+                tag: li,
+                down_params: params,
+                run,
+            });
+        }
+
+        let exchange = transport.exchange(env, round, jobs, rng);
+
+        let mut uploads = Vec::new();
         let mut returned = 0u64;
         let mut loss_acc = 0.0;
         let mut trained = 0usize;
         let mut failures = 0usize;
-        let mut slowest = 0.0f64;
-
-        for &c in &clients {
-            let li = self.level_for_class(env.fleet.device(c).class());
-            let (_, plan, params) = &self.levels[li];
-            sent += params;
-            // No client-side adaptation: a resource dip below the
-            // assigned size fails the round for this client.
-            if env.fleet.device(c).capacity_at(round) < *params {
+        for d in exchange.deliveries {
+            if d.status.is_delivered() {
+                returned += d.up_params;
+                loss_acc += d.loss;
+                trained += 1;
+                uploads.push(d.upload.expect("delivered upload present"));
+            } else {
                 failures += 1;
-                slowest = slowest.max(client_secs(env, c, 0, 0, *params, 0));
-                continue;
             }
-            let sub = extract_submodel(&self.global, &env.cfg.model, plan);
-            let mut net = env.cfg.model.build(plan, rng);
-            net.load_param_map(&sub);
-            let data = env.data.client(c);
-            loss_acc += env.cfg.local.train(&mut net, data, rng);
-            trained += 1;
-            let macs = cost_of(&env.cfg.model.full_blueprint(plan), env.cfg.model.input).macs;
-            slowest = slowest.max(client_secs(env, c, macs, data.len(), *params, *params));
-            returned += params;
-            uploads.push(Upload { params: net.param_map(), weight: data.len() as f32 });
         }
         aggregate(&mut self.global, &uploads);
 
@@ -105,9 +144,14 @@ impl FlMethod for HeteroFl {
             round,
             sent_params: sent,
             returned_params: returned,
-            train_loss: if trained > 0 { loss_acc / trained as f32 } else { 0.0 },
-            sim_secs: slowest,
+            train_loss: if trained > 0 {
+                loss_acc / trained as f32
+            } else {
+                0.0
+            },
+            sim_secs: exchange.round_secs,
             failures,
+            comm: exchange.stats,
         }
     }
 
@@ -117,9 +161,16 @@ impl FlMethod for HeteroFl {
             let sub = extract_submodel(&self.global, &env.cfg.model, plan);
             let mut net = env.cfg.model.build(plan, &mut env.eval_rng());
             net.load_param_map(&sub);
-            levels.push((name.clone(), evaluate(&mut net, env.data.test(), env.cfg.eval_batch)));
+            levels.push((
+                name.clone(),
+                evaluate(&mut net, env.data.test(), env.cfg.eval_batch),
+            ));
         }
         let full = levels.last().map_or(0.0, |(_, a)| *a);
-        EvalRecord { round, full, levels }
+        EvalRecord {
+            round,
+            full,
+            levels,
+        }
     }
 }

@@ -22,6 +22,7 @@ use serde::{Deserialize, Serialize};
 use crate::metrics::{EvalRecord, RoundRecord};
 use crate::select::SelectionStrategy;
 use crate::sim::Env;
+use crate::transport::Transport;
 
 /// A federated-learning method: owns its global model state and plays
 /// one round at a time against the shared environment.
@@ -29,8 +30,15 @@ pub trait FlMethod: Send {
     /// Display name used in tables and result files.
     fn name(&self) -> String;
 
-    /// Executes one training round.
-    fn round(&mut self, env: &Env, round: usize, rng: &mut ChaCha8Rng) -> RoundRecord;
+    /// Executes one training round: dispatch client jobs through the
+    /// transport, then consume whatever deliveries survived the link.
+    fn round(
+        &mut self,
+        env: &Env,
+        round: usize,
+        transport: &mut dyn Transport,
+        rng: &mut ChaCha8Rng,
+    ) -> RoundRecord;
 
     /// Evaluates the current global model(s) on the environment's test
     /// set: global ("full") accuracy plus per-level submodel
@@ -69,11 +77,9 @@ impl MethodKind {
                 false,
             )),
             MethodKind::AdaptiveFlVariant(s) => Box::new(AdaptiveFl::new(env, s, false)),
-            MethodKind::AdaptiveFlGreedy => Box::new(AdaptiveFl::new(
-                env,
-                SelectionStrategy::Random,
-                true,
-            )),
+            MethodKind::AdaptiveFlGreedy => {
+                Box::new(AdaptiveFl::new(env, SelectionStrategy::Random, true))
+            }
             MethodKind::AllLarge => Box::new(AllLarge::new(env)),
             MethodKind::Decoupled => Box::new(Decoupled::new(env)),
             MethodKind::HeteroFl => Box::new(HeteroFl::new(env)),
@@ -114,20 +120,4 @@ pub(crate) fn sample_clients(env: &Env, round: usize, k: usize, rng: &mut impl R
     eligible.shuffle(rng);
     eligible.truncate(k);
     eligible
-}
-
-/// Simulated wall-clock seconds for a client's round: local training
-/// over `macs_per_sample` for `samples · epochs` samples plus the
-/// down/up transfer of `down`/`up` parameter elements as f32.
-pub(crate) fn client_secs(
-    env: &Env,
-    client: usize,
-    macs_per_sample: u64,
-    samples: usize,
-    down_params: u64,
-    up_params: u64,
-) -> f64 {
-    let device = env.fleet.device(client);
-    let total_macs = macs_per_sample * samples as u64 * env.cfg.local.epochs as u64;
-    device.round_time(total_macs, down_params * 4, up_params * 4)
 }

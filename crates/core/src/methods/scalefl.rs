@@ -16,11 +16,12 @@ use adaptivefl_nn::{ParamKind, ParamMap};
 use rand_chacha::ChaCha8Rng;
 
 use crate::aggregate::{aggregate, Upload};
-use crate::methods::{client_secs, sample_clients, FlMethod};
+use crate::methods::{sample_clients, FlMethod};
 use crate::metrics::{EvalRecord, RoundRecord};
 use crate::prune::extract_by_shapes;
 use crate::sim::Env;
 use crate::trainer::evaluate;
+use crate::transport::{ClientJob, JobFn, LocalOutcome, Transport};
 
 /// Distillation weight of the early exits toward the final exit.
 const KD_WEIGHT: f32 = 0.5;
@@ -68,7 +69,14 @@ impl ScaleFl {
                 let shapes = bp.shapes();
                 let params = bp.num_params() as u64;
                 let macs = cost_of(&bp, cfg.input).macs;
-                LevelCfg { name: name.to_string(), plan, depth, params, shapes, macs }
+                LevelCfg {
+                    name: name.to_string(),
+                    plan,
+                    depth,
+                    params,
+                    shapes,
+                    macs,
+                }
             })
             .collect();
 
@@ -76,7 +84,11 @@ impl ScaleFl {
         let bp = cfg.blueprint(&cfg.full_plan(), d, true);
         let mut rng = adaptivefl_tensor::rng::derived(env.cfg.seed, "scalefl-init");
         let global = Network::build(&bp, &mut rng).param_map();
-        ScaleFl { global, levels, max_depth: d }
+        ScaleFl {
+            global,
+            levels,
+            max_depth: d,
+        }
     }
 
     fn level_for_class(&self, class: DeviceClass) -> usize {
@@ -93,39 +105,73 @@ impl FlMethod for ScaleFl {
         "ScaleFL".to_string()
     }
 
-    fn round(&mut self, env: &Env, round: usize, rng: &mut ChaCha8Rng) -> RoundRecord {
+    fn round(
+        &mut self,
+        env: &Env,
+        round: usize,
+        transport: &mut dyn Transport,
+        rng: &mut ChaCha8Rng,
+    ) -> RoundRecord {
         let clients = sample_clients(env, round, env.cfg.clients_per_round, rng);
-        let mut uploads = Vec::new();
         let mut sent = 0u64;
+
+        let global = &self.global;
+        let levels = &self.levels;
+        let mut jobs: Vec<ClientJob<'_>> = Vec::with_capacity(clients.len());
+        for &c in &clients {
+            let li = self.level_for_class(env.fleet.device(c).class());
+            let params = levels[li].params;
+            sent += params;
+            let run: JobFn<'_> = Box::new(move |rng: &mut ChaCha8Rng| {
+                let level = &levels[li];
+                if env.fleet.device(c).capacity_at(round) < level.params {
+                    return LocalOutcome::failure();
+                }
+                let sub = extract_by_shapes(global, &level.shapes);
+                let bp = env.cfg.model.blueprint(&level.plan, level.depth, true);
+                let mut net = Network::build(&bp, rng);
+                net.load_param_map(&sub);
+                let data = env.data.client(c);
+                let loss =
+                    env.cfg
+                        .local
+                        .train_multi_exit(&mut net, data, KD_WEIGHT, KD_TEMPERATURE, rng);
+                LocalOutcome {
+                    upload: Some(Upload {
+                        params: net.param_map(),
+                        weight: data.len() as f32,
+                    }),
+                    loss,
+                    tag: li,
+                    macs_per_sample: level.macs,
+                    samples: data.len(),
+                    up_params: level.params,
+                }
+            });
+            jobs.push(ClientJob {
+                client: c,
+                tag: li,
+                down_params: params,
+                run,
+            });
+        }
+
+        let exchange = transport.exchange(env, round, jobs, rng);
+
+        let mut uploads = Vec::new();
         let mut returned = 0u64;
         let mut loss_acc = 0.0;
         let mut trained = 0usize;
         let mut failures = 0usize;
-        let mut slowest = 0.0f64;
-
-        for &c in &clients {
-            let li = self.level_for_class(env.fleet.device(c).class());
-            let level = &self.levels[li];
-            sent += level.params;
-            if env.fleet.device(c).capacity_at(round) < level.params {
+        for d in exchange.deliveries {
+            if d.status.is_delivered() {
+                returned += d.up_params;
+                loss_acc += d.loss;
+                trained += 1;
+                uploads.push(d.upload.expect("delivered upload present"));
+            } else {
                 failures += 1;
-                slowest = slowest.max(client_secs(env, c, 0, 0, level.params, 0));
-                continue;
             }
-            let sub = extract_by_shapes(&self.global, &level.shapes);
-            let bp = env.cfg.model.blueprint(&level.plan, level.depth, true);
-            let mut net = Network::build(&bp, rng);
-            net.load_param_map(&sub);
-            let data = env.data.client(c);
-            loss_acc +=
-                env.cfg
-                    .local
-                    .train_multi_exit(&mut net, data, KD_WEIGHT, KD_TEMPERATURE, rng);
-            trained += 1;
-            slowest =
-                slowest.max(client_secs(env, c, level.macs, data.len(), level.params, level.params));
-            returned += level.params;
-            uploads.push(Upload { params: net.param_map(), weight: data.len() as f32 });
         }
         aggregate(&mut self.global, &uploads);
 
@@ -133,9 +179,14 @@ impl FlMethod for ScaleFl {
             round,
             sent_params: sent,
             returned_params: returned,
-            train_loss: if trained > 0 { loss_acc / trained as f32 } else { 0.0 },
-            sim_secs: slowest,
+            train_loss: if trained > 0 {
+                loss_acc / trained as f32
+            } else {
+                0.0
+            },
+            sim_secs: exchange.round_secs,
             failures,
+            comm: exchange.stats,
         }
     }
 
@@ -162,6 +213,10 @@ impl FlMethod for ScaleFl {
         let mut net = Network::build(&bp, &mut env.eval_rng());
         net.load_param_map(&self.global);
         let full = evaluate(&mut net, env.data.test(), env.cfg.eval_batch);
-        EvalRecord { round, full, levels }
+        EvalRecord {
+            round,
+            full,
+            levels,
+        }
     }
 }

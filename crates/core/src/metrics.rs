@@ -3,6 +3,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::transport::CommStats;
+
 /// One round's bookkeeping.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundRecord {
@@ -18,8 +20,14 @@ pub struct RoundRecord {
     /// Simulated wall-clock duration of the round (slowest client),
     /// seconds.
     pub sim_secs: f64,
-    /// Number of clients that failed to train anything this round.
+    /// Number of clients that failed to train anything this round
+    /// (resource failures plus transport losses).
     pub failures: usize,
+    /// Transport-level accounting for the round (actual bytes moved,
+    /// drops, stragglers, deadline misses). Defaults to zero for
+    /// records predating the transport layer.
+    #[serde(default)]
+    pub comm: CommStats,
 }
 
 /// One evaluation snapshot.
@@ -83,7 +91,17 @@ impl RunResult {
     /// Communication-waste rate (paper §4.4):
     /// `1 − Σ size(ML_back) / Σ size(ML_send)`; 0 when nothing was
     /// sent.
+    ///
+    /// Measured over actual transport bytes when the run carries
+    /// [`CommStats`] (so drops, truncations and deadline misses count
+    /// as waste); falls back to parameter-element accounting for
+    /// records predating the transport layer.
     pub fn comm_waste_rate(&self) -> f64 {
+        let bytes_down: u64 = self.rounds.iter().map(|r| r.comm.bytes_down).sum();
+        if bytes_down > 0 {
+            let bytes_up: u64 = self.rounds.iter().map(|r| r.comm.bytes_up).sum();
+            return 1.0 - bytes_up as f64 / bytes_down as f64;
+        }
         let sent: u64 = self.rounds.iter().map(|r| r.sent_params).sum();
         let back: u64 = self.rounds.iter().map(|r| r.returned_params).sum();
         if sent == 0 {
@@ -93,6 +111,16 @@ impl RunResult {
         }
     }
 
+    /// Whole-run transport accounting (sum of per-round
+    /// [`CommStats`]).
+    pub fn total_comm(&self) -> CommStats {
+        let mut total = CommStats::default();
+        for r in &self.rounds {
+            total.accumulate(&r.comm);
+        }
+        total
+    }
+
     /// Total simulated wall-clock seconds.
     pub fn total_sim_secs(&self) -> f64 {
         self.rounds.iter().map(|r| r.sim_secs).sum()
@@ -100,7 +128,10 @@ impl RunResult {
 
     /// Accuracy-vs-round learning curve `(round, full, avg)`.
     pub fn curve(&self) -> Vec<(usize, f32, f32)> {
-        self.evals.iter().map(|e| (e.round, e.full, e.avg())).collect()
+        self.evals
+            .iter()
+            .map(|e| (e.round, e.full, e.avg()))
+            .collect()
     }
 
     /// Accuracy-vs-simulated-time curve `(secs, full)` for test-bed
@@ -135,6 +166,7 @@ mod tests {
                     train_loss: 1.0,
                     sim_secs: 2.0,
                     failures: 0,
+                    comm: CommStats::default(),
                 },
                 RoundRecord {
                     round: 1,
@@ -143,11 +175,20 @@ mod tests {
                     train_loss: 0.5,
                     sim_secs: 3.0,
                     failures: 1,
+                    comm: CommStats::default(),
                 },
             ],
             evals: vec![
-                EvalRecord { round: 0, full: 0.4, levels: vec![("S_1".into(), 0.3), ("L_1".into(), 0.5)] },
-                EvalRecord { round: 1, full: 0.6, levels: vec![("S_1".into(), 0.5), ("L_1".into(), 0.7)] },
+                EvalRecord {
+                    round: 0,
+                    full: 0.4,
+                    levels: vec![("S_1".into(), 0.3), ("L_1".into(), 0.5)],
+                },
+                EvalRecord {
+                    round: 1,
+                    full: 0.6,
+                    levels: vec![("S_1".into(), 0.5), ("L_1".into(), 0.7)],
+                },
             ],
         }
     }
@@ -156,6 +197,29 @@ mod tests {
     fn comm_waste_is_one_minus_ratio() {
         let r = result();
         assert!((r.comm_waste_rate() - (1.0 - 140.0 / 200.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comm_waste_prefers_transport_bytes() {
+        let mut r = result();
+        // Transport saw 1000 bytes down, 250 back: 75 % waste, which
+        // overrides the param-based 30 %.
+        r.rounds[0].comm = CommStats {
+            bytes_down: 600,
+            bytes_up: 150,
+            ..Default::default()
+        };
+        r.rounds[1].comm = CommStats {
+            bytes_down: 400,
+            bytes_up: 100,
+            drops: 1,
+            ..Default::default()
+        };
+        assert!((r.comm_waste_rate() - 0.75).abs() < 1e-9);
+        let total = r.total_comm();
+        assert_eq!(total.bytes_down, 1000);
+        assert_eq!(total.bytes_up, 250);
+        assert_eq!(total.drops, 1);
     }
 
     #[test]
@@ -168,7 +232,11 @@ mod tests {
 
     #[test]
     fn avg_falls_back_to_full_without_levels() {
-        let e = EvalRecord { round: 0, full: 0.42, levels: vec![] };
+        let e = EvalRecord {
+            round: 0,
+            full: 0.42,
+            levels: vec![],
+        };
         assert_eq!(e.avg(), 0.42);
     }
 
@@ -183,7 +251,11 @@ mod tests {
 
     #[test]
     fn empty_result_defaults() {
-        let r = RunResult { method: "x".into(), rounds: vec![], evals: vec![] };
+        let r = RunResult {
+            method: "x".into(),
+            rounds: vec![],
+            evals: vec![],
+        };
         assert_eq!(r.final_full_accuracy(), 0.0);
         assert_eq!(r.comm_waste_rate(), 0.0);
     }

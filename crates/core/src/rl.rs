@@ -105,7 +105,13 @@ impl RlState {
     /// * `sent` / `returned` are pool indices of `m_i` and `m'_i`;
     ///   `returned = None` models a client that could not train even
     ///   the smallest entry.
-    pub fn update_on_return(&mut self, pool: &ModelPool, sent: usize, returned: Option<usize>, client: usize) {
+    pub fn update_on_return(
+        &mut self,
+        pool: &ModelPool,
+        sent: usize,
+        returned: Option<usize>,
+        client: usize,
+    ) {
         let top = pool.len();
         match returned {
             Some(ret) if ret == sent => {
@@ -220,7 +226,11 @@ mod tests {
         assert!(rs > 0.5, "small models should look near-certain: {rs}");
         let r = rl.reward(&p, 0, 0);
         let rc = rl.curiosity_reward(Level::Small, 0);
-        assert!((r - 0.5 * rc).abs() < 1e-9, "cap not applied: {r} vs {}", 0.5 * rc);
+        assert!(
+            (r - 0.5 * rc).abs() < 1e-9,
+            "cap not applied: {r} vs {}",
+            0.5 * rc
+        );
     }
 
     #[test]

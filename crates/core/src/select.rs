@@ -119,15 +119,8 @@ mod tests {
         let (pool, rl) = setup();
         let mut r = rng::seeded(61);
         for _ in 0..50 {
-            let c = select_client(
-                SelectionStrategy::Random,
-                &rl,
-                &pool,
-                0,
-                &[1, 3],
-                &mut r,
-            )
-            .expect("eligible non-empty");
+            let c = select_client(SelectionStrategy::Random, &rl, &pool, 0, &[1, 3], &mut r)
+                .expect("eligible non-empty");
             assert!(c == 1 || c == 3);
         }
     }
@@ -182,7 +175,10 @@ mod tests {
                 count1 += 1;
             }
         }
-        assert!(count1 > 140, "under-selected client picked only {count1}/200");
+        assert!(
+            count1 > 140,
+            "under-selected client picked only {count1}/200"
+        );
     }
 
     #[test]

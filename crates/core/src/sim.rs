@@ -12,6 +12,7 @@ use crate::methods::MethodKind;
 use crate::metrics::RunResult;
 use crate::pool::{ModelPool, DEFAULT_RATIOS};
 use crate::trainer::LocalTrainer;
+use crate::transport::{PerfectTransport, Transport};
 
 /// Everything that defines one experiment (except the dataset spec and
 /// partition, which are passed to [`Simulation::prepare`]).
@@ -83,7 +84,13 @@ impl SimConfig {
             },
             rounds: 4,
             clients_per_round: 4,
-            local: LocalTrainer { lr: 0.05, momentum: 0.5, epochs: 1, batch_size: 8, prox_mu: 0.0 },
+            local: LocalTrainer {
+                lr: 0.05,
+                momentum: 0.5,
+                epochs: 1,
+                batch_size: 8,
+                prox_mu: 0.0,
+            },
             eval_every: 2,
             eval_batch: 32,
             p: 2,
@@ -133,7 +140,9 @@ impl Env {
     /// their device is currently reachable.
     pub fn eligible_clients(&self, round: usize) -> Vec<usize> {
         (0..self.data.num_clients())
-            .filter(|&c| !self.data.client(c).is_empty() && self.fleet.device(c).available_at(round))
+            .filter(|&c| {
+                !self.data.client(c).is_empty() && self.fleet.device(c).available_at(round)
+            })
             .collect()
     }
 }
@@ -176,7 +185,14 @@ impl Simulation {
             cfg.seed,
         );
         let pool = ModelPool::split(&cfg.model, cfg.p, cfg.ratios);
-        Simulation { env: Env { cfg: *cfg, data, fleet, pool } }
+        Simulation {
+            env: Env {
+                cfg: *cfg,
+                data,
+                fleet,
+                pool,
+            },
+        }
     }
 
     /// The environment (shared across methods for fair comparison).
@@ -200,30 +216,54 @@ impl Simulation {
         self
     }
 
-    /// Runs one method for `cfg.rounds` rounds, evaluating every
-    /// `cfg.eval_every` rounds and after the final round.
+    /// Runs one method for `cfg.rounds` rounds over the default
+    /// [`PerfectTransport`] (lossless sequential link), evaluating
+    /// every `cfg.eval_every` rounds and after the final round.
     pub fn run(&mut self, kind: MethodKind) -> RunResult {
+        self.run_with_transport(kind, &mut PerfectTransport)
+    }
+
+    /// Runs one method over an explicit transport (e.g. the faulty
+    /// parallel `SimTransport` of `adaptivefl-comm`).
+    pub fn run_with_transport(
+        &mut self,
+        kind: MethodKind,
+        transport: &mut dyn Transport,
+    ) -> RunResult {
         let method = kind.instantiate(&self.env);
-        self.run_method(method)
+        self.run_method_with_transport(method, transport)
     }
 
     /// Runs an explicitly constructed method (e.g. an AdaptiveFL
-    /// instance with non-default RL settings for ablations).
-    pub fn run_method(&mut self, mut method: Box<dyn crate::methods::FlMethod>) -> RunResult {
-        let mut rng = adaptivefl_tensor::rng::derived(
-            self.env.cfg.seed,
-            &format!("run-{}", method.name()),
-        );
+    /// instance with non-default RL settings for ablations) over the
+    /// default [`PerfectTransport`].
+    pub fn run_method(&mut self, method: Box<dyn crate::methods::FlMethod>) -> RunResult {
+        self.run_method_with_transport(method, &mut PerfectTransport)
+    }
+
+    /// Runs an explicitly constructed method over an explicit
+    /// transport.
+    pub fn run_method_with_transport(
+        &mut self,
+        mut method: Box<dyn crate::methods::FlMethod>,
+        transport: &mut dyn Transport,
+    ) -> RunResult {
+        let mut rng =
+            adaptivefl_tensor::rng::derived(self.env.cfg.seed, &format!("run-{}", method.name()));
         let mut rounds = Vec::with_capacity(self.env.cfg.rounds);
         let mut evals = Vec::new();
         for t in 0..self.env.cfg.rounds {
-            rounds.push(method.round(&self.env, t, &mut rng));
+            rounds.push(method.round(&self.env, t, transport, &mut rng));
             let last = t + 1 == self.env.cfg.rounds;
             if last || (t + 1) % self.env.cfg.eval_every.max(1) == 0 {
                 evals.push(method.evaluate(&self.env, t));
             }
         }
-        RunResult { method: method.name(), rounds, evals }
+        RunResult {
+            method: method.name(),
+            rounds,
+            evals,
+        }
     }
 }
 

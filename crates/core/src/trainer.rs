@@ -34,12 +34,24 @@ impl LocalTrainer {
     /// The paper's hyper-parameters (lr 0.01, momentum 0.5, batch 50,
     /// 5 epochs).
     pub fn paper() -> Self {
-        LocalTrainer { lr: 0.01, momentum: 0.5, epochs: 5, batch_size: 50, prox_mu: 0.0 }
+        LocalTrainer {
+            lr: 0.01,
+            momentum: 0.5,
+            epochs: 5,
+            batch_size: 50,
+            prox_mu: 0.0,
+        }
     }
 
     /// Faster settings for reduced-scale experiments.
     pub fn fast() -> Self {
-        LocalTrainer { lr: 0.03, momentum: 0.5, epochs: 2, batch_size: 16, prox_mu: 0.0 }
+        LocalTrainer {
+            lr: 0.03,
+            momentum: 0.5,
+            epochs: 2,
+            batch_size: 16,
+            prox_mu: 0.0,
+        }
     }
 
     /// Builder-style FedProx coefficient.
@@ -118,8 +130,10 @@ impl LocalTrainer {
             for batch in data.shuffled_batches(self.batch_size, rng) {
                 net.zero_grads();
                 let outs = net.forward_multi(batch.x, true);
-                let (last_exit, final_logits) =
-                    outs.last().map(|(e, l)| (*e, l.clone())).expect("final exit");
+                let (last_exit, final_logits) = outs
+                    .last()
+                    .map(|(e, l)| (*e, l.clone()))
+                    .expect("final exit");
                 let mut total = 0.0f32;
                 let mut grads = Vec::with_capacity(outs.len());
                 for (e, logits) in outs {
@@ -175,14 +189,8 @@ mod tests {
 
     #[test]
     fn training_reduces_loss_and_lifts_accuracy() {
-        let fed = FederatedDataset::synthesize(
-            &SynthSpec::test_spec(4),
-            1,
-            60,
-            60,
-            Partition::Iid,
-            70,
-        );
+        let fed =
+            FederatedDataset::synthesize(&SynthSpec::test_spec(4), 1, 60, 60, Partition::Iid, 70);
         let cfg = ModelConfig {
             kind: adaptivefl_models::ModelKind::TinyCnn,
             input: (3, 8, 8),
@@ -191,7 +199,13 @@ mod tests {
         };
         let mut r = rng::seeded(71);
         let mut net = cfg.build(&cfg.full_plan(), &mut r);
-        let trainer = LocalTrainer { lr: 0.05, momentum: 0.9, epochs: 8, batch_size: 16, prox_mu: 0.0 };
+        let trainer = LocalTrainer {
+            lr: 0.05,
+            momentum: 0.9,
+            epochs: 8,
+            batch_size: 16,
+            prox_mu: 0.0,
+        };
         let before = evaluate(&mut net, fed.test(), 32);
         let loss1 = trainer.train(&mut net, fed.client(0), &mut r);
         let loss2 = trainer.train(&mut net, fed.client(0), &mut r);
@@ -202,14 +216,8 @@ mod tests {
 
     #[test]
     fn multi_exit_training_improves_all_exits() {
-        let fed = FederatedDataset::synthesize(
-            &SynthSpec::test_spec(4),
-            1,
-            60,
-            60,
-            Partition::Iid,
-            72,
-        );
+        let fed =
+            FederatedDataset::synthesize(&SynthSpec::test_spec(4), 1, 60, 60, Partition::Iid, 72);
         let cfg = ModelConfig {
             kind: adaptivefl_models::ModelKind::TinyCnn,
             input: (3, 8, 8),
@@ -221,7 +229,13 @@ mod tests {
         let mut net = adaptivefl_models::Network::build(&bp, &mut r);
         // Three exits triple the trunk gradient, so use a gentler lr
         // than the single-exit test.
-        let trainer = LocalTrainer { lr: 0.02, momentum: 0.5, epochs: 12, batch_size: 16, prox_mu: 0.0 };
+        let trainer = LocalTrainer {
+            lr: 0.02,
+            momentum: 0.5,
+            epochs: 12,
+            batch_size: 16,
+            prox_mu: 0.0,
+        };
         let loss = trainer.train_multi_exit(&mut net, fed.client(0), 0.5, 2.0, &mut r);
         assert!(loss.is_finite());
         // Final-exit accuracy should be clearly above chance (0.25).
@@ -234,14 +248,8 @@ mod tests {
 
     #[test]
     fn evaluate_batches_match_full_batch() {
-        let fed = FederatedDataset::synthesize(
-            &SynthSpec::test_spec(3),
-            1,
-            10,
-            25,
-            Partition::Iid,
-            74,
-        );
+        let fed =
+            FederatedDataset::synthesize(&SynthSpec::test_spec(3), 1, 10, 25, Partition::Iid, 74);
         let cfg = ModelConfig {
             kind: adaptivefl_models::ModelKind::TinyCnn,
             input: (3, 8, 8),
@@ -268,14 +276,8 @@ mod prox_tests {
     /// anchor; µ = 0 lets them drift further.
     #[test]
     fn prox_term_anchors_weights() {
-        let fed = FederatedDataset::synthesize(
-            &SynthSpec::test_spec(4),
-            1,
-            40,
-            20,
-            Partition::Iid,
-            76,
-        );
+        let fed =
+            FederatedDataset::synthesize(&SynthSpec::test_spec(4), 1, 40, 20, Partition::Iid, 76);
         let cfg = ModelConfig {
             kind: adaptivefl_models::ModelKind::TinyCnn,
             input: (3, 8, 8),
@@ -307,14 +309,8 @@ mod prox_tests {
     /// µ = 0 must be bit-identical to the pre-FedProx behaviour.
     #[test]
     fn zero_mu_is_plain_sgd() {
-        let fed = FederatedDataset::synthesize(
-            &SynthSpec::test_spec(3),
-            1,
-            20,
-            10,
-            Partition::Iid,
-            78,
-        );
+        let fed =
+            FederatedDataset::synthesize(&SynthSpec::test_spec(3), 1, 20, 10, Partition::Iid, 78);
         let cfg = ModelConfig {
             kind: adaptivefl_models::ModelKind::TinyCnn,
             input: (3, 8, 8),

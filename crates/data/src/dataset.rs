@@ -39,12 +39,22 @@ impl InMemoryDataset {
         let per = input.0 * input.1 * input.2;
         assert_eq!(data.len(), labels.len() * per, "data/label size mismatch");
         assert!(labels.iter().all(|&y| y < classes), "label out of range");
-        InMemoryDataset { input, classes, data, labels }
+        InMemoryDataset {
+            input,
+            classes,
+            data,
+            labels,
+        }
     }
 
     /// An empty dataset with the given geometry.
     pub fn empty(input: (usize, usize, usize), classes: usize) -> Self {
-        InMemoryDataset { input, classes, data: Vec::new(), labels: Vec::new() }
+        InMemoryDataset {
+            input,
+            classes,
+            data: Vec::new(),
+            labels: Vec::new(),
+        }
     }
 
     /// Number of samples.
@@ -119,7 +129,12 @@ impl InMemoryDataset {
         assert!(batch_size > 0, "batch size must be positive");
         let mut order: Vec<usize> = (0..self.len()).collect();
         order.shuffle(rng);
-        BatchIter { ds: self, order, pos: 0, batch_size }
+        BatchIter {
+            ds: self,
+            order,
+            pos: 0,
+            batch_size,
+        }
     }
 
     /// Per-class sample counts (length = classes).

@@ -55,13 +55,9 @@ impl FederatedDataset {
                 let pool = task.dataset_uniform(n, &mut rng);
                 let shards = match partition {
                     Partition::Iid => iid_partition(n, clients, &mut rng),
-                    Partition::Dirichlet(a) => dirichlet_partition(
-                        pool.labels(),
-                        spec.classes,
-                        clients,
-                        a,
-                        &mut rng,
-                    ),
+                    Partition::Dirichlet(a) => {
+                        dirichlet_partition(pool.labels(), spec.classes, clients, a, &mut rng)
+                    }
                     Partition::ByGroup => unreachable!(),
                 };
                 shards.iter().map(|s| pool.subset(s)).collect()
@@ -149,14 +145,8 @@ mod tests {
 
     #[test]
     fn iid_federation_shapes() {
-        let fed = FederatedDataset::synthesize(
-            &SynthSpec::test_spec(4),
-            8,
-            10,
-            40,
-            Partition::Iid,
-            1,
-        );
+        let fed =
+            FederatedDataset::synthesize(&SynthSpec::test_spec(4), 8, 10, 40, Partition::Iid, 1);
         assert_eq!(fed.num_clients(), 8);
         assert_eq!(fed.client_sizes(), vec![10; 8]);
         assert_eq!(fed.test().len(), 40);
@@ -224,19 +214,10 @@ mod tests {
 
     #[test]
     fn histograms_line_up_with_labels() {
-        let fed = FederatedDataset::synthesize(
-            &SynthSpec::test_spec(5),
-            3,
-            20,
-            10,
-            Partition::Iid,
-            9,
-        );
+        let fed =
+            FederatedDataset::synthesize(&SynthSpec::test_spec(5), 3, 20, 10, Partition::Iid, 9);
         let ds = fed.client(1);
         let idx: Vec<usize> = (0..ds.len()).collect();
-        assert_eq!(
-            ds.class_histogram(),
-            shard_histogram(&idx, ds.labels(), 5)
-        );
+        assert_eq!(ds.class_histogram(), shard_histogram(&idx, ds.labels(), 5));
     }
 }

@@ -146,7 +146,11 @@ impl SynthTask {
         let groups = (0..num_groups.max(1))
             .map(|_| smooth_field(&spec, spec.group_shift, rng))
             .collect();
-        SynthTask { spec, prototypes, groups }
+        SynthTask {
+            spec,
+            prototypes,
+            groups,
+        }
     }
 
     /// The generator spec.
@@ -168,8 +172,8 @@ impl SynthTask {
         let proto = &self.prototypes[y];
         let group = &self.groups[g];
         let distort = smooth_field(&self.spec, self.spec.distortion, rng);
-        let normal = Normal::new(0.0f32, self.spec.noise.max(f32::MIN_POSITIVE))
-            .expect("valid normal");
+        let normal =
+            Normal::new(0.0f32, self.spec.noise.max(f32::MIN_POSITIVE)).expect("valid normal");
         proto
             .iter()
             .zip(group)
@@ -181,7 +185,9 @@ impl SynthTask {
     /// Generates a dataset of `n` samples with the given labels drawn
     /// uniformly (group 0).
     pub fn dataset_uniform(&self, n: usize, rng: &mut impl Rng) -> InMemoryDataset {
-        let labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..self.spec.classes)).collect();
+        let labels: Vec<usize> = (0..n)
+            .map(|_| rng.gen_range(0..self.spec.classes))
+            .collect();
         self.dataset_with_labels(&labels, 0, rng)
     }
 

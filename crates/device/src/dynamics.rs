@@ -34,7 +34,11 @@ impl ResourceDynamics {
     /// The paper-style uncertain environment: ±10 % jitter with
     /// occasional 40 %-capacity spikes.
     pub fn uncertain() -> Self {
-        ResourceDynamics::Spiky { jitter: 0.10, drop_prob: 0.15, drop_to: 0.4 }
+        ResourceDynamics::Spiky {
+            jitter: 0.10,
+            drop_prob: 0.15,
+            drop_to: 0.4,
+        }
     }
 
     /// Multiplicative capacity factor for a round.
@@ -45,7 +49,11 @@ impl ResourceDynamics {
                 let mut r = round_rng(seed, round);
                 1.0 + jitter * (r.gen::<f64>() * 2.0 - 1.0)
             }
-            ResourceDynamics::Spiky { jitter, drop_prob, drop_to } => {
+            ResourceDynamics::Spiky {
+                jitter,
+                drop_prob,
+                drop_to,
+            } => {
                 let mut r = round_rng(seed, round);
                 let base = 1.0 + jitter * (r.gen::<f64>() * 2.0 - 1.0);
                 if r.gen::<f64>() < drop_prob {
@@ -91,7 +99,11 @@ mod tests {
 
     #[test]
     fn spiky_sometimes_drops() {
-        let d = ResourceDynamics::Spiky { jitter: 0.0, drop_prob: 0.5, drop_to: 0.3 };
+        let d = ResourceDynamics::Spiky {
+            jitter: 0.0,
+            drop_prob: 0.5,
+            drop_to: 0.3,
+        };
         let drops = (0..100).filter(|&t| d.factor(9, t) < 0.5).count();
         assert!(drops > 20 && drops < 80, "drops {drops}");
     }

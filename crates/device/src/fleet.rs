@@ -53,9 +53,7 @@ impl DeviceFleet {
         let devices = classes
             .into_iter()
             .enumerate()
-            .map(|(id, class)| {
-                DeviceSim::from_class(id, class, full_model_params, dynamics, seed)
-            })
+            .map(|(id, class)| DeviceSim::from_class(id, class, full_model_params, dynamics, seed))
             .collect();
         DeviceFleet { devices }
     }
@@ -123,13 +121,8 @@ mod tests {
 
     #[test]
     fn proportions_are_respected() {
-        let fleet = DeviceFleet::with_proportions(
-            100,
-            (4, 3, 3),
-            1_000_000,
-            ResourceDynamics::Static,
-            1,
-        );
+        let fleet =
+            DeviceFleet::with_proportions(100, (4, 3, 3), 1_000_000, ResourceDynamics::Static, 1);
         assert_eq!(fleet.class_counts(), (40, 30, 30));
     }
 
@@ -144,8 +137,7 @@ mod tests {
 
     #[test]
     fn ids_are_sequential() {
-        let fleet =
-            DeviceFleet::with_proportions(5, (1, 1, 1), 100, ResourceDynamics::Static, 3);
+        let fleet = DeviceFleet::with_proportions(5, (1, 1, 1), 100, ResourceDynamics::Static, 3);
         for (i, d) in fleet.iter().enumerate() {
             assert_eq!(d.id(), i);
         }

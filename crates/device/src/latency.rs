@@ -23,8 +23,14 @@ impl LatencyModel {
     ///
     /// Panics unless both rates are positive.
     pub fn new(macs_per_sec: f64, bytes_per_sec: f64) -> Self {
-        assert!(macs_per_sec > 0.0 && bytes_per_sec > 0.0, "rates must be positive");
-        LatencyModel { macs_per_sec, bytes_per_sec }
+        assert!(
+            macs_per_sec > 0.0 && bytes_per_sec > 0.0,
+            "rates must be positive"
+        );
+        LatencyModel {
+            macs_per_sec,
+            bytes_per_sec,
+        }
     }
 
     /// Seconds to *train* over `macs` forward-pass MACs (the 3×

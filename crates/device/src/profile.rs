@@ -139,8 +139,7 @@ impl DeviceSim {
         }
         use rand::{Rng, SeedableRng};
         let mut r = rand_chacha::ChaCha8Rng::seed_from_u64(
-            self.seed
-                .wrapping_mul(0xA076_1D64_78BD_642F)
+            self.seed.wrapping_mul(0xA076_1D64_78BD_642F)
                 ^ (self.id as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB)
                 ^ (round as u64).rotate_left(17),
         );
@@ -170,7 +169,9 @@ impl DeviceSim {
     /// Available capacity (parameter elements) at round `t` — the `Γ`
     /// of the paper's available-resource-aware pruning.
     pub fn capacity_at(&self, round: usize) -> u64 {
-        let f = self.dynamics.factor(self.seed ^ (self.id as u64).wrapping_mul(0x9E37), round);
+        let f = self
+            .dynamics
+            .factor(self.seed ^ (self.id as u64).wrapping_mul(0x9E37), round);
         (self.base_capacity as f64 * f).round() as u64
     }
 
@@ -193,14 +194,26 @@ mod tests {
 
     #[test]
     fn static_capacity_is_constant() {
-        let d = DeviceSim::from_class(3, DeviceClass::Medium, 1_000_000, ResourceDynamics::Static, 5);
+        let d = DeviceSim::from_class(
+            3,
+            DeviceClass::Medium,
+            1_000_000,
+            ResourceDynamics::Static,
+            5,
+        );
         assert_eq!(d.capacity_at(0), d.capacity_at(17));
         assert_eq!(d.capacity_at(0), 550_000);
     }
 
     #[test]
     fn strong_fits_full_model() {
-        let d = DeviceSim::from_class(0, DeviceClass::Strong, 1_000_000, ResourceDynamics::Static, 5);
+        let d = DeviceSim::from_class(
+            0,
+            DeviceClass::Strong,
+            1_000_000,
+            ResourceDynamics::Static,
+            5,
+        );
         assert!(d.capacity_at(0) >= 1_000_000);
     }
 

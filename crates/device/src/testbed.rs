@@ -15,20 +15,38 @@ use crate::profile::{DeviceClass, DeviceSim};
 
 /// Raspberry Pi 4B: ARM Cortex-A72, 2 GB — weak client.
 pub fn raspberry_pi_4b(id: usize, full_model_params: u64, seed: u64) -> DeviceSim {
-    DeviceSim::from_class(id, DeviceClass::Weak, full_model_params, ResourceDynamics::uncertain(), seed)
-        .with_latency(LatencyModel::new(2.0e9, 4.0e6))
+    DeviceSim::from_class(
+        id,
+        DeviceClass::Weak,
+        full_model_params,
+        ResourceDynamics::uncertain(),
+        seed,
+    )
+    .with_latency(LatencyModel::new(2.0e9, 4.0e6))
 }
 
 /// Jetson Nano: 128-core Maxwell GPU, 8 GB — medium client.
 pub fn jetson_nano(id: usize, full_model_params: u64, seed: u64) -> DeviceSim {
-    DeviceSim::from_class(id, DeviceClass::Medium, full_model_params, ResourceDynamics::uncertain(), seed)
-        .with_latency(LatencyModel::new(2.5e10, 8.0e6))
+    DeviceSim::from_class(
+        id,
+        DeviceClass::Medium,
+        full_model_params,
+        ResourceDynamics::uncertain(),
+        seed,
+    )
+    .with_latency(LatencyModel::new(2.5e10, 8.0e6))
 }
 
 /// Jetson Xavier AGX: 512-core NVIDIA GPU, 32 GB — strong client.
 pub fn jetson_xavier_agx(id: usize, full_model_params: u64, seed: u64) -> DeviceSim {
-    DeviceSim::from_class(id, DeviceClass::Strong, full_model_params, ResourceDynamics::uncertain(), seed)
-        .with_latency(LatencyModel::new(4.0e11, 15.0e6))
+    DeviceSim::from_class(
+        id,
+        DeviceClass::Strong,
+        full_model_params,
+        ResourceDynamics::uncertain(),
+        seed,
+    )
+    .with_latency(LatencyModel::new(4.0e11, 15.0e6))
 }
 
 /// The full 17-client test-bed of the paper's Table 5:

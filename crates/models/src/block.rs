@@ -168,8 +168,16 @@ impl Block {
                 f(format!("{}.weight", c.name), w_shape, ParamKind::Weight);
                 f(format!("{}.bias", c.name), vec![c.out_c], ParamKind::Bias);
                 if c.bn {
-                    f(format!("{}.bn.gamma", c.name), vec![c.out_c], ParamKind::Gamma);
-                    f(format!("{}.bn.beta", c.name), vec![c.out_c], ParamKind::Beta);
+                    f(
+                        format!("{}.bn.gamma", c.name),
+                        vec![c.out_c],
+                        ParamKind::Gamma,
+                    );
+                    f(
+                        format!("{}.bn.beta", c.name),
+                        vec![c.out_c],
+                        ParamKind::Beta,
+                    );
                     f(
                         format!("{}.bn.running_mean", c.name),
                         vec![c.out_c],

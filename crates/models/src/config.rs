@@ -65,22 +65,42 @@ pub struct ModelConfig {
 impl ModelConfig {
     /// Full-size VGG16 on 32×32×3 input, 10 classes (Table 1).
     pub fn vgg16_cifar() -> Self {
-        ModelConfig { kind: ModelKind::Vgg16, input: (3, 32, 32), classes: 10, width_mult: 1.0 }
+        ModelConfig {
+            kind: ModelKind::Vgg16,
+            input: (3, 32, 32),
+            classes: 10,
+            width_mult: 1.0,
+        }
     }
 
     /// Reduced VGG16 for CPU-budget training runs.
     pub fn vgg16_fast(classes: usize) -> Self {
-        ModelConfig { kind: ModelKind::Vgg16, input: (3, 8, 8), classes, width_mult: 1.0 / 8.0 }
+        ModelConfig {
+            kind: ModelKind::Vgg16,
+            input: (3, 8, 8),
+            classes,
+            width_mult: 1.0 / 8.0,
+        }
     }
 
     /// Full-size ResNet18 on 32×32×3 input.
     pub fn resnet18_cifar() -> Self {
-        ModelConfig { kind: ModelKind::ResNet18, input: (3, 32, 32), classes: 10, width_mult: 1.0 }
+        ModelConfig {
+            kind: ModelKind::ResNet18,
+            input: (3, 32, 32),
+            classes: 10,
+            width_mult: 1.0,
+        }
     }
 
     /// Reduced ResNet18 for CPU-budget training runs.
     pub fn resnet18_fast(classes: usize) -> Self {
-        ModelConfig { kind: ModelKind::ResNet18, input: (3, 8, 8), classes, width_mult: 1.0 / 8.0 }
+        ModelConfig {
+            kind: ModelKind::ResNet18,
+            input: (3, 8, 8),
+            classes,
+            width_mult: 1.0 / 8.0,
+        }
     }
 
     /// Full-size MobileNetV2 on Widar-like input (22 gesture classes).
@@ -105,7 +125,12 @@ impl ModelConfig {
 
     /// TinyCnn on 16×16×3 input.
     pub fn tiny(classes: usize) -> Self {
-        ModelConfig { kind: ModelKind::TinyCnn, input: (3, 16, 16), classes, width_mult: 1.0 }
+        ModelConfig {
+            kind: ModelKind::TinyCnn,
+            input: (3, 16, 16),
+            classes,
+            width_mult: 1.0,
+        }
     }
 
     /// Base widths of every prunable unit after applying `width_mult`.
@@ -119,7 +144,9 @@ impl ModelConfig {
         if (self.width_mult - 1.0).abs() < f32::EPSILON {
             base.to_vec()
         } else {
-            base.iter().map(|&b| scale_width(b, self.width_mult)).collect()
+            base.iter()
+                .map(|&b| scale_width(b, self.width_mult))
+                .collect()
         }
     }
 

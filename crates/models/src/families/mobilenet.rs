@@ -92,7 +92,11 @@ pub fn mobilenet_v2(
     depth: usize,
     aux_exits: bool,
 ) -> Blueprint {
-    assert_eq!(plan.len(), BASE_WIDTHS.len(), "MobileNetV2 plan needs 19 units");
+    assert_eq!(
+        plan.len(),
+        BASE_WIDTHS.len(),
+        "MobileNetV2 plan needs 19 units"
+    );
     assert!((1..=MAX_DEPTH).contains(&depth), "depth must be 1..=4");
     let (in_c, _, _) = input;
 
@@ -151,7 +155,11 @@ pub fn mobilenet_v2(
     } else {
         vec![depth - 1]
     };
-    let bp = Blueprint { segments, exits, active_exits };
+    let bp = Blueprint {
+        segments,
+        exits,
+        active_exits,
+    };
     bp.validate();
     bp
 }

@@ -86,7 +86,12 @@ pub fn resnet18(
         }
         for b in range.clone() {
             let out_c = plan.width(b + 1);
-            seg.push(basic_block(&format!("layer{b}"), prev_c, out_c, BLOCK_STRIDES[b]));
+            seg.push(basic_block(
+                &format!("layer{b}"),
+                prev_c,
+                out_c,
+                BLOCK_STRIDES[b],
+            ));
             prev_c = out_c;
         }
         segments.push(seg);
@@ -115,7 +120,11 @@ pub fn resnet18(
     } else {
         vec![depth - 1]
     };
-    let bp = Blueprint { segments, exits, active_exits };
+    let bp = Blueprint {
+        segments,
+        exits,
+        active_exits,
+    };
     bp.validate();
     bp
 }

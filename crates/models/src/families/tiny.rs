@@ -86,7 +86,11 @@ pub fn tiny_cnn(
     } else {
         vec![depth - 1]
     };
-    let bp = Blueprint { segments, exits, active_exits };
+    let bp = Blueprint {
+        segments,
+        exits,
+        active_exits,
+    };
     bp.validate();
     bp
 }

@@ -123,7 +123,11 @@ pub fn vgg16(
     } else {
         vec![depth - 1]
     };
-    let bp = Blueprint { segments, exits, active_exits };
+    let bp = Blueprint {
+        segments,
+        exits,
+        active_exits,
+    };
     bp.validate();
     bp
 }
@@ -190,6 +194,9 @@ mod tests {
         let bp = vgg16((3, 32, 32), 10, &full_plan(), 3, false, false);
         assert_eq!(bp.segments.len(), 3);
         // No classifier.* params at reduced depth.
-        assert!(bp.shapes().iter().all(|(n, _, _)| !n.starts_with("classifier")));
+        assert!(bp
+            .shapes()
+            .iter()
+            .all(|(n, _, _)| !n.starts_with("classifier")));
     }
 }

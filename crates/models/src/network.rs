@@ -134,7 +134,11 @@ impl Node {
             Block::Conv(c) => Node::Conv {
                 name: c.name.clone(),
                 conv: if c.depthwise {
-                    assert_eq!(c.in_c, c.out_c, "depthwise conv {} needs in_c == out_c", c.name);
+                    assert_eq!(
+                        c.in_c, c.out_c,
+                        "depthwise conv {} needs in_c == out_c",
+                        c.name
+                    );
                     ConvImpl::Depthwise(DepthwiseConv2d::new(c.out_c, c.k, c.stride, c.pad, rng))
                 } else {
                     ConvImpl::Dense(Conv2d::new(c.in_c, c.out_c, c.k, c.stride, c.pad, rng))
@@ -183,7 +187,11 @@ impl Node {
             Node::MaxPool(p) => p.forward(x, train),
             Node::Gap(g) => g.forward(x, train),
             Node::Flatten(f) => f.forward(x, train),
-            Node::Residual { main, shortcut, relu } => {
+            Node::Residual {
+                main,
+                shortcut,
+                relu,
+            } => {
                 let skip = match shortcut {
                     Some(sc) => sc.forward(x.clone(), train),
                     None => x.clone(),
@@ -222,7 +230,11 @@ impl Node {
             Node::MaxPool(p) => p.backward(dy),
             Node::Gap(g) => g.backward(dy),
             Node::Flatten(f) => f.backward(dy),
-            Node::Residual { main, shortcut, relu } => {
+            Node::Residual {
+                main,
+                shortcut,
+                relu,
+            } => {
                 let g = relu.backward(dy);
                 let mut dx = main.backward(g.clone());
                 let dskip = match shortcut {
@@ -365,10 +377,7 @@ impl Network {
     pub fn backward_multi(&mut self, exit_grads: Vec<(usize, Tensor)>) -> Tensor {
         let mut grads: BTreeMap<usize, Tensor> = exit_grads.into_iter().collect();
         let last = self.segments.len() - 1;
-        assert!(
-            grads.contains_key(&last),
-            "final exit gradient is required"
-        );
+        assert!(grads.contains_key(&last), "final exit gradient is required");
         let mut g: Option<Tensor> = None;
         for i in (0..self.segments.len()).rev() {
             if let Some(dl) = grads.remove(&i) {

@@ -38,7 +38,10 @@ impl PruneSpec {
 
     /// The identity spec (full model, `r_w = 1`).
     pub fn full() -> Self {
-        PruneSpec { r_w: 1.0, start_unit: 0 }
+        PruneSpec {
+            r_w: 1.0,
+            start_unit: 0,
+        }
     }
 
     /// Returns `true` if this spec leaves the model unchanged.
@@ -83,7 +86,9 @@ impl WidthPlan {
 
     /// A full-width plan.
     pub fn full(base: &[usize]) -> Self {
-        WidthPlan { channels: base.to_vec() }
+        WidthPlan {
+            channels: base.to_vec(),
+        }
     }
 
     /// Builds a plan from explicit channel counts.

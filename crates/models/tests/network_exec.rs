@@ -25,12 +25,9 @@ fn runtime_params_match_blueprint_shapes() {
             let mut r = rng::seeded(1);
             let net = Network::build(&bp, &mut r);
             let mut runtime: Vec<(String, Vec<usize>)> = Vec::new();
-            net.visit_params(
-                "",
-                &mut |n: &str, _: ParamKind, v: &Tensor, _: &Tensor| {
-                    runtime.push((n.to_string(), v.shape().to_vec()));
-                },
-            );
+            net.visit_params("", &mut |n: &str, _: ParamKind, v: &Tensor, _: &Tensor| {
+                runtime.push((n.to_string(), v.shape().to_vec()));
+            });
             let mut expected: Vec<(String, Vec<usize>)> =
                 bp.shapes().into_iter().map(|(n, s, _)| (n, s)).collect();
             runtime.sort();
@@ -53,7 +50,12 @@ fn cost_params_match_network_params() {
         let plan = cfg.plan(&PruneSpec::new(0.66, cfg.min_start_unit()));
         let mut r = rng::seeded(2);
         let net = cfg.build(&plan, &mut r);
-        assert_eq!(net.num_params() as u64, cfg.num_params(&plan), "{:?}", cfg.kind);
+        assert_eq!(
+            net.num_params() as u64,
+            cfg.num_params(&plan),
+            "{:?}",
+            cfg.kind
+        );
     }
 }
 
@@ -80,14 +82,11 @@ fn resnet_gradient_matches_finite_differences() {
 
     // Collect analytic grads.
     let mut grads: Vec<(String, Tensor)> = Vec::new();
-    net.visit_params(
-        "",
-        &mut |n: &str, k: ParamKind, _: &Tensor, g: &Tensor| {
-            if k == ParamKind::Weight {
-                grads.push((n.to_string(), g.clone()));
-            }
-        },
-    );
+    net.visit_params("", &mut |n: &str, k: ParamKind, _: &Tensor, g: &Tensor| {
+        if k == ParamKind::Weight {
+            grads.push((n.to_string(), g.clone()));
+        }
+    });
     assert!(!grads.is_empty());
 
     // Perturb one weight entry in a handful of layers. BN batch
@@ -191,15 +190,12 @@ fn multi_exit_training_works() {
 
     // The first conv must have received gradient from all three paths.
     let mut found = false;
-    net.visit_params(
-        "",
-        &mut |n: &str, _: ParamKind, _: &Tensor, g: &Tensor| {
-            if n == "conv0.weight" {
-                assert!(g.sq_norm() > 0.0);
-                found = true;
-            }
-        },
-    );
+    net.visit_params("", &mut |n: &str, _: ParamKind, _: &Tensor, g: &Tensor| {
+        if n == "conv0.weight" {
+            assert!(g.sq_norm() > 0.0);
+            found = true;
+        }
+    });
     assert!(found);
 }
 

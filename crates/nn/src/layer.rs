@@ -126,12 +126,12 @@ pub trait LayerExt: Layer {
     /// Total number of parameter elements.
     fn num_params(&self) -> usize {
         let mut n = 0usize;
-        self.visit_params(
-            "",
-            &mut |_: &str, _: ParamKind, value: &Tensor, _: &Tensor| {
-                n += value.numel();
-            },
-        );
+        self.visit_params("", &mut |_: &str,
+                                    _: ParamKind,
+                                    value: &Tensor,
+                                    _: &Tensor| {
+            n += value.numel();
+        });
         n
     }
 }

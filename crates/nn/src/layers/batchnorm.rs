@@ -132,7 +132,10 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, dy: Tensor) -> Tensor {
-        let cache = self.cache.take().expect("batchnorm backward without forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("batchnorm backward without forward");
         let s = cache.in_shape.clone();
         let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
         let cnt = (n * h * w) as f32;
@@ -170,8 +173,18 @@ impl Layer for BatchNorm2d {
     }
 
     fn visit_params(&self, prefix: &str, v: &mut dyn ParamVisitor) {
-        v.visit(&join_name(prefix, "gamma"), ParamKind::Gamma, &self.gamma, &self.dgamma);
-        v.visit(&join_name(prefix, "beta"), ParamKind::Beta, &self.beta, &self.dbeta);
+        v.visit(
+            &join_name(prefix, "gamma"),
+            ParamKind::Gamma,
+            &self.gamma,
+            &self.dgamma,
+        );
+        v.visit(
+            &join_name(prefix, "beta"),
+            ParamKind::Beta,
+            &self.beta,
+            &self.dbeta,
+        );
         v.visit(
             &join_name(prefix, "running_mean"),
             ParamKind::RunningMean,
@@ -187,8 +200,18 @@ impl Layer for BatchNorm2d {
     }
 
     fn visit_params_mut(&mut self, prefix: &str, v: &mut dyn ParamVisitorMut) {
-        v.visit(&join_name(prefix, "gamma"), ParamKind::Gamma, &mut self.gamma, &mut self.dgamma);
-        v.visit(&join_name(prefix, "beta"), ParamKind::Beta, &mut self.beta, &mut self.dbeta);
+        v.visit(
+            &join_name(prefix, "gamma"),
+            ParamKind::Gamma,
+            &mut self.gamma,
+            &mut self.dgamma,
+        );
+        v.visit(
+            &join_name(prefix, "beta"),
+            ParamKind::Beta,
+            &mut self.beta,
+            &mut self.dbeta,
+        );
         // Running statistics get dummy grad slots; the optimizer skips
         // non-trainable kinds.
         let mut dummy_m = Tensor::zeros(&[self.running_mean.numel()]);
@@ -222,8 +245,7 @@ mod tests {
     fn train_output_is_normalised() {
         let mut r = rng::seeded(6);
         let mut bn = BatchNorm2d::new(3);
-        let x = init::normal(&[4, 3, 5, 5], 3.0, &mut r)
-            .map(|v| v + 10.0);
+        let x = init::normal(&[4, 3, 5, 5], 3.0, &mut r).map(|v| v + 10.0);
         let y = bn.forward(x, true);
         // Per-channel mean ≈ 0, std ≈ 1.
         let (n, c, h, w) = (4, 3, 5, 5);
@@ -303,10 +325,15 @@ mod tests {
     fn exposes_running_stats_as_params() {
         let bn = BatchNorm2d::new(4);
         let mut names = Vec::new();
-        bn.visit_params("bn", &mut |n: &str, k: ParamKind, _: &Tensor, _: &Tensor| {
+        bn.visit_params("bn", &mut |n: &str,
+                                    k: ParamKind,
+                                    _: &Tensor,
+                                    _: &Tensor| {
             names.push((n.to_string(), k));
         });
         assert_eq!(names.len(), 4);
-        assert!(names.iter().any(|(n, k)| n == "bn.running_mean" && !k.is_trainable()));
+        assert!(names
+            .iter()
+            .any(|(n, k)| n == "bn.running_mean" && !k.is_trainable()));
     }
 }

@@ -54,7 +54,12 @@ impl Conv2d {
             dbias: Tensor::zeros(&[out_c]),
             bias: Tensor::zeros(&[out_c]),
             weight,
-            geo: ConvGeometry { kh: k, kw: k, stride, pad },
+            geo: ConvGeometry {
+                kh: k,
+                kw: k,
+                stride,
+                pad,
+            },
             cache: None,
         }
     }
@@ -92,8 +97,18 @@ impl Layer for Conv2d {
     }
 
     fn visit_params(&self, prefix: &str, v: &mut dyn ParamVisitor) {
-        v.visit(&join_name(prefix, "weight"), ParamKind::Weight, &self.weight, &self.dweight);
-        v.visit(&join_name(prefix, "bias"), ParamKind::Bias, &self.bias, &self.dbias);
+        v.visit(
+            &join_name(prefix, "weight"),
+            ParamKind::Weight,
+            &self.weight,
+            &self.dweight,
+        );
+        v.visit(
+            &join_name(prefix, "bias"),
+            ParamKind::Bias,
+            &self.bias,
+            &self.dbias,
+        );
     }
 
     fn visit_params_mut(&mut self, prefix: &str, v: &mut dyn ParamVisitorMut) {
@@ -103,7 +118,12 @@ impl Layer for Conv2d {
             &mut self.weight,
             &mut self.dweight,
         );
-        v.visit(&join_name(prefix, "bias"), ParamKind::Bias, &mut self.bias, &mut self.dbias);
+        v.visit(
+            &join_name(prefix, "bias"),
+            ParamKind::Bias,
+            &mut self.bias,
+            &mut self.dbias,
+        );
     }
 
     fn zero_grads(&mut self) {
@@ -150,9 +170,12 @@ mod tests {
         let mut r = rng::seeded(2);
         let conv = Conv2d::new(1, 1, 1, 1, 0, &mut r);
         let mut names = Vec::new();
-        conv.visit_params("block.0", &mut |n: &str, _: ParamKind, _: &Tensor, _: &Tensor| {
-            names.push(n.to_string());
-        });
+        conv.visit_params(
+            "block.0",
+            &mut |n: &str, _: ParamKind, _: &Tensor, _: &Tensor| {
+                names.push(n.to_string());
+            },
+        );
         assert_eq!(names, vec!["block.0.weight", "block.0.bias"]);
     }
 

@@ -97,13 +97,11 @@ impl Layer for DepthwiseConv2d {
     }
 
     fn backward(&mut self, dy: Tensor) -> Tensor {
-        let x = self.cache.take().expect("depthwise backward without forward");
-        let (n, c, h, w) = (
-            x.shape()[0],
-            x.shape()[1],
-            x.shape()[2],
-            x.shape()[3],
-        );
+        let x = self
+            .cache
+            .take()
+            .expect("depthwise backward without forward");
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         let (oh, ow) = self.out_hw(h, w);
         let mut dx = vec![0.0f32; n * c * h * w];
         let xv = x.as_slice();
@@ -149,8 +147,18 @@ impl Layer for DepthwiseConv2d {
     }
 
     fn visit_params(&self, prefix: &str, v: &mut dyn ParamVisitor) {
-        v.visit(&join_name(prefix, "weight"), ParamKind::Weight, &self.weight, &self.dweight);
-        v.visit(&join_name(prefix, "bias"), ParamKind::Bias, &self.bias, &self.dbias);
+        v.visit(
+            &join_name(prefix, "weight"),
+            ParamKind::Weight,
+            &self.weight,
+            &self.dweight,
+        );
+        v.visit(
+            &join_name(prefix, "bias"),
+            ParamKind::Bias,
+            &self.bias,
+            &self.dbias,
+        );
     }
 
     fn visit_params_mut(&mut self, prefix: &str, v: &mut dyn ParamVisitorMut) {
@@ -160,7 +168,12 @@ impl Layer for DepthwiseConv2d {
             &mut self.weight,
             &mut self.dweight,
         );
-        v.visit(&join_name(prefix, "bias"), ParamKind::Bias, &mut self.bias, &mut self.dbias);
+        v.visit(
+            &join_name(prefix, "bias"),
+            ParamKind::Bias,
+            &mut self.bias,
+            &mut self.dbias,
+        );
     }
 
     fn zero_grads(&mut self) {
@@ -203,7 +216,10 @@ mod tests {
             dw.weight.as_mut_slice()[idx] = orig;
             let num = (lp - lm) / (2.0 * eps);
             let ana = dw.dweight.as_slice()[idx];
-            assert!((num - ana).abs() < 0.05 * (1.0 + ana.abs()), "{num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 0.05 * (1.0 + ana.abs()),
+                "{num} vs {ana}"
+            );
         }
         for idx in [0usize, 7, 20, 31] {
             let mut xp = x.clone();

@@ -29,7 +29,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, dy: Tensor) -> Tensor {
-        let in_shape = self.in_shape.take().expect("flatten backward without forward");
+        let in_shape = self
+            .in_shape
+            .take()
+            .expect("flatten backward without forward");
         dy.reshape(&in_shape)
     }
 

@@ -56,7 +56,11 @@ impl Linear {
 impl Layer for Linear {
     fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
         assert_eq!(x.ndim(), 2, "Linear expects [batch, features]");
-        assert_eq!(x.shape()[1], self.in_features(), "Linear input width mismatch");
+        assert_eq!(
+            x.shape()[1],
+            self.in_features(),
+            "Linear input width mismatch"
+        );
         // y = x · Wᵀ
         let mut y = matmul_a_bt(&x, &self.weight);
         let (n, o) = (y.shape()[0], y.shape()[1]);
@@ -88,8 +92,18 @@ impl Layer for Linear {
     }
 
     fn visit_params(&self, prefix: &str, v: &mut dyn ParamVisitor) {
-        v.visit(&join_name(prefix, "weight"), ParamKind::Weight, &self.weight, &self.dweight);
-        v.visit(&join_name(prefix, "bias"), ParamKind::Bias, &self.bias, &self.dbias);
+        v.visit(
+            &join_name(prefix, "weight"),
+            ParamKind::Weight,
+            &self.weight,
+            &self.dweight,
+        );
+        v.visit(
+            &join_name(prefix, "bias"),
+            ParamKind::Bias,
+            &self.bias,
+            &self.dbias,
+        );
     }
 
     fn visit_params_mut(&mut self, prefix: &str, v: &mut dyn ParamVisitorMut) {
@@ -99,7 +113,12 @@ impl Layer for Linear {
             &mut self.weight,
             &mut self.dweight,
         );
-        v.visit(&join_name(prefix, "bias"), ParamKind::Bias, &mut self.bias, &mut self.dbias);
+        v.visit(
+            &join_name(prefix, "bias"),
+            ParamKind::Bias,
+            &mut self.bias,
+            &mut self.dbias,
+        );
     }
 
     fn zero_grads(&mut self) {
@@ -133,7 +152,10 @@ mod tests {
             fc.weight.as_mut_slice()[idx] = orig;
             let num = (lp - lm) / (2.0 * eps);
             let ana = fc.dweight.as_slice()[idx];
-            assert!((num - ana).abs() < 0.02 * (1.0 + ana.abs()), "{num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 0.02 * (1.0 + ana.abs()),
+                "{num} vs {ana}"
+            );
         }
         // Input grads.
         for idx in 0..12 {

@@ -22,7 +22,10 @@ impl MaxPool2d {
     /// Panics if `window == 0`.
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "pool window must be positive");
-        MaxPool2d { window, cache: None }
+        MaxPool2d {
+            window,
+            cache: None,
+        }
     }
 
     /// The pooling window size.

@@ -138,7 +138,12 @@ impl IntoIterator for ParamMap {
 
 impl std::fmt::Display for ParamMap {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ParamMap({} params, {} elements)", self.len(), self.numel())
+        write!(
+            f,
+            "ParamMap({} params, {} elements)",
+            self.len(),
+            self.numel()
+        )
     }
 }
 

@@ -35,17 +35,17 @@ fn check_layer(layer: &mut dyn Layer, x: &Tensor, tol: f32) {
 
     // One trainable parameter coordinate (if any).
     let mut target: Option<(String, usize, f32)> = None;
-    layer.visit_params(
-        "",
-        &mut |name: &str, kind: ParamKind, v: &Tensor, g: &Tensor| {
-            if target.is_none() && kind == ParamKind::Weight && v.numel() > 0 {
-                let i = v.numel() / 2;
-                target = Some((name.to_string(), i, g.as_slice()[i]));
-            }
-        },
-    );
+    layer.visit_params("", &mut |name: &str,
+                                 kind: ParamKind,
+                                 v: &Tensor,
+                                 g: &Tensor| {
+        if target.is_none() && kind == ParamKind::Weight && v.numel() > 0 {
+            let i = v.numel() / 2;
+            target = Some((name.to_string(), i, g.as_slice()[i]));
+        }
+    });
     if let Some((name, i, ana)) = target {
-        let mut bump = |delta: f32, layer: &mut dyn Layer| {
+        let bump = |delta: f32, layer: &mut dyn Layer| {
             layer.visit_params_mut(
                 "",
                 &mut |n: &str, _: ParamKind, v: &mut Tensor, _: &mut Tensor| {
@@ -107,10 +107,10 @@ proptest! {
 
     #[test]
     fn maxpool_gradients(c in 1usize..4, seed in 0u64..1000) {
-        let mut r = rng::seeded(seed);
+        let _r = rng::seeded(seed);
         let mut pool = MaxPool2d::new(2);
         // Distinct values so the argmax is FD-stable.
-        let n = 1 * c * 4 * 4;
+        let n = c * 4 * 4;
         let data: Vec<f32> = (0..n).map(|i| (i as f32 * 0.731 + seed as f32).sin() * 3.0).collect();
         let x = Tensor::from_vec(data, &[1, c, 4, 4]);
         check_layer(&mut pool, &x, 0.05);

@@ -38,7 +38,10 @@ impl ConvGeometry {
             ph,
             pw
         );
-        ((ph - self.kh) / self.stride + 1, (pw - self.kw) / self.stride + 1)
+        (
+            (ph - self.kh) / self.stride + 1,
+            (pw - self.kw) / self.stride + 1,
+        )
     }
 }
 
@@ -198,7 +201,9 @@ pub fn conv2d_backward(
         dw2d.add_assign(&contrib);
         // db += row sums of dY
         for co in 0..c_out {
-            let s: f32 = dyn_.as_slice()[co * oh * ow..(co + 1) * oh * ow].iter().sum();
+            let s: f32 = dyn_.as_slice()[co * oh * ow..(co + 1) * oh * ow]
+                .iter()
+                .sum();
             db.as_mut_slice()[co] += s;
         }
         // dcols = Wᵀ · dY, then fold back.
@@ -224,15 +229,30 @@ mod tests {
     use super::*;
 
     fn geo3() -> ConvGeometry {
-        ConvGeometry { kh: 3, kw: 3, stride: 1, pad: 1 }
+        ConvGeometry {
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        }
     }
 
     #[test]
     fn out_size_same_padding() {
         assert_eq!(geo3().out_hw(8, 8), (8, 8));
-        let g2 = ConvGeometry { kh: 3, kw: 3, stride: 2, pad: 1 };
+        let g2 = ConvGeometry {
+            kh: 3,
+            kw: 3,
+            stride: 2,
+            pad: 1,
+        };
         assert_eq!(g2.out_hw(8, 8), (4, 4));
-        let g1 = ConvGeometry { kh: 1, kw: 1, stride: 1, pad: 0 };
+        let g1 = ConvGeometry {
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            pad: 0,
+        };
         assert_eq!(g1.out_hw(5, 7), (5, 7));
     }
 
@@ -242,7 +262,12 @@ mod tests {
         let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
         let w = Tensor::ones(&[1, 1, 1, 1]);
         let b = Tensor::zeros(&[1]);
-        let g = ConvGeometry { kh: 1, kw: 1, stride: 1, pad: 0 };
+        let g = ConvGeometry {
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            pad: 0,
+        };
         let (y, _) = conv2d_forward(&x, &w, &b, g);
         assert_eq!(y.as_slice(), x.as_slice());
     }
@@ -264,7 +289,12 @@ mod tests {
         let x = Tensor::zeros(&[2, 1, 2, 2]);
         let w = Tensor::zeros(&[3, 1, 1, 1]);
         let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
-        let g = ConvGeometry { kh: 1, kw: 1, stride: 1, pad: 0 };
+        let g = ConvGeometry {
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            pad: 0,
+        };
         let (y, _) = conv2d_forward(&x, &w, &b, g);
         assert_eq!(y.at(&[0, 0, 0, 0]), 1.0);
         assert_eq!(y.at(&[1, 2, 1, 1]), 3.0);
@@ -273,21 +303,27 @@ mod tests {
     /// Finite-difference check of the full backward pass.
     #[test]
     fn gradients_match_finite_differences() {
-        let geo = ConvGeometry { kh: 3, kw: 3, stride: 1, pad: 1 };
+        let geo = ConvGeometry {
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
         let n = 2;
         let (c_in, h, w_) = (2, 4, 4);
         let c_out = 3;
         let mk = |len: usize, seed: f32| -> Vec<f32> {
-            (0..len).map(|i| (i as f32 * 12.9898 + seed).sin() * 0.5).collect()
+            (0..len)
+                .map(|i| (i as f32 * 12.9898 + seed).sin() * 0.5)
+                .collect()
         };
         let x = Tensor::from_vec(mk(n * c_in * h * w_, 1.0), &[n, c_in, h, w_]);
         let wt = Tensor::from_vec(mk(c_out * c_in * 9, 2.0), &[c_out, c_in, 3, 3]);
         let b = Tensor::from_vec(mk(c_out, 3.0), &[c_out]);
 
         // Loss = sum(conv(x)) so dy = ones.
-        let loss = |x: &Tensor, wt: &Tensor, b: &Tensor| -> f32 {
-            conv2d_forward(x, wt, b, geo).0.sum()
-        };
+        let loss =
+            |x: &Tensor, wt: &Tensor, b: &Tensor| -> f32 { conv2d_forward(x, wt, b, geo).0.sum() };
         let (y, caches) = conv2d_forward(&x, &wt, &b, geo);
         let dy = Tensor::ones(y.shape());
         let grads = conv2d_backward(&dy, &wt, &caches, x.shape(), geo);
@@ -331,7 +367,12 @@ mod tests {
     #[test]
     fn col2im_is_adjoint_of_im2col() {
         // <im2col(x), y> == <x, col2im(y)> for random x, y.
-        let geo = ConvGeometry { kh: 3, kw: 3, stride: 2, pad: 1 };
+        let geo = ConvGeometry {
+            kh: 3,
+            kw: 3,
+            stride: 2,
+            pad: 1,
+        };
         let (c, h, w) = (2, 5, 5);
         let x: Vec<f32> = (0..c * h * w).map(|i| (i as f32 * 0.37).cos()).collect();
         let cols = im2col(&x, c, h, w, geo);
@@ -339,7 +380,12 @@ mod tests {
             (0..cols.numel()).map(|i| (i as f32 * 0.11).sin()).collect(),
             cols.shape(),
         );
-        let lhs: f32 = cols.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let lhs: f32 = cols
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
         let folded = col2im(&y, c, h, w, geo);
         let rhs: f32 = x.iter().zip(folded.iter()).map(|(a, b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");

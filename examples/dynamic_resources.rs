@@ -23,7 +23,12 @@ use adaptivefl::models::{ModelConfig, ModelKind};
 fn main() {
     let spec = SynthSpec::cifar10_like();
     let mut cfg = SimConfig::fast(
-        ModelConfig { kind: ModelKind::TinyCnn, input: spec.input, classes: spec.classes, width_mult: 1.0 },
+        ModelConfig {
+            kind: ModelKind::TinyCnn,
+            input: spec.input,
+            classes: spec.classes,
+            width_mult: 1.0,
+        },
         11,
     );
     cfg.num_clients = 40;
@@ -31,10 +36,17 @@ fn main() {
     cfg.eval_every = 20;
     // Strongly uncertain environment: ±10% jitter + frequent load
     // spikes that take 60% of a device's capacity away.
-    cfg.dynamics = ResourceDynamics::Spiky { jitter: 0.10, drop_prob: 0.25, drop_to: 0.4 };
+    cfg.dynamics = ResourceDynamics::Spiky {
+        jitter: 0.10,
+        drop_prob: 0.25,
+        drop_to: 0.4,
+    };
 
     println!("Selection-strategy ablation under spiky resources\n");
-    println!("{:<22} {:>9} {:>11} {:>9}", "variant", "full", "comm-waste", "failures");
+    println!(
+        "{:<22} {:>9} {:>11} {:>9}",
+        "variant", "full", "comm-waste", "failures"
+    );
 
     for kind in [
         MethodKind::AdaptiveFlGreedy,

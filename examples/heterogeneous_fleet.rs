@@ -16,7 +16,12 @@ use adaptivefl::models::{ModelConfig, ModelKind};
 fn main() {
     let spec = SynthSpec::cifar10_like();
     let mut cfg = SimConfig::fast(
-        ModelConfig { kind: ModelKind::TinyCnn, input: spec.input, classes: spec.classes, width_mult: 1.0 },
+        ModelConfig {
+            kind: ModelKind::TinyCnn,
+            input: spec.input,
+            classes: spec.classes,
+            width_mult: 1.0,
+        },
         7,
     );
     cfg.num_clients = 40;
@@ -24,8 +29,14 @@ fn main() {
     cfg.eval_every = 12;
     cfg.proportions = (8, 1, 1); // almost everyone is a weak device
 
-    println!("Fleet: {} clients at 8:1:1 weak:medium:strong, α = 0.6\n", cfg.num_clients);
-    println!("{:<14} {:>9} {:>9} {:>11}", "method", "avg", "full", "comm-waste");
+    println!(
+        "Fleet: {} clients at 8:1:1 weak:medium:strong, α = 0.6\n",
+        cfg.num_clients
+    );
+    println!(
+        "{:<14} {:>9} {:>9} {:>11}",
+        "method", "avg", "full", "comm-waste"
+    );
 
     for kind in [
         MethodKind::Decoupled,

@@ -18,14 +18,22 @@ fn main() {
     // resources in a 4:3:3 weak/medium/strong fleet.
     let spec = SynthSpec::cifar10_like();
     let mut cfg = SimConfig::fast(
-        ModelConfig { kind: ModelKind::TinyCnn, input: spec.input, classes: spec.classes, width_mult: 1.0 },
+        ModelConfig {
+            kind: ModelKind::TinyCnn,
+            input: spec.input,
+            classes: spec.classes,
+            width_mult: 1.0,
+        },
         42,
     );
     cfg.num_clients = 40;
     cfg.rounds = 15;
     cfg.eval_every = 3;
 
-    println!("Preparing {} clients ({:?} proportions)…", cfg.num_clients, cfg.proportions);
+    println!(
+        "Preparing {} clients ({:?} proportions)…",
+        cfg.num_clients, cfg.proportions
+    );
     let mut sim = Simulation::prepare(&cfg, &spec, Partition::Dirichlet(0.6));
 
     println!("Model pool (2p+1 = {} submodels):", sim.env().pool.len());
@@ -42,12 +50,20 @@ fn main() {
     let result = sim.run(MethodKind::AdaptiveFl);
     println!("\nround  full-acc  avg-acc");
     for (round, full, avg) in result.curve() {
-        println!("{:5}  {:7.1}%  {:6.1}%", round + 1, 100.0 * full, 100.0 * avg);
+        println!(
+            "{:5}  {:7.1}%  {:6.1}%",
+            round + 1,
+            100.0 * full,
+            100.0 * avg
+        );
     }
     println!(
         "\nfinal accuracy: {:.1}% (full) / {:.1}% (avg over S/M/L submodels)",
         100.0 * result.final_full_accuracy(),
         100.0 * result.final_avg_accuracy()
     );
-    println!("communication waste rate: {:.1}%", 100.0 * result.comm_waste_rate());
+    println!(
+        "communication waste rate: {:.1}%",
+        100.0 * result.comm_waste_rate()
+    );
 }

@@ -25,7 +25,10 @@ fn main() {
     // couple dozen rounds.
     spec.signal = 1.6;
     spec.group_shift = 0.5;
-    let model = ModelConfig { classes: spec.classes, ..ModelConfig::mobilenet_v2_fast(spec.classes) };
+    let model = ModelConfig {
+        classes: spec.classes,
+        ..ModelConfig::mobilenet_v2_fast(spec.classes)
+    };
 
     let mut cfg = SimConfig::fast(model, 17);
     cfg.num_clients = 17; // Table 5
@@ -36,7 +39,11 @@ fn main() {
 
     let full_params = model.num_params(&model.full_plan());
     let fleet = paper_testbed(full_params, cfg.seed);
-    println!("Test-bed: {} devices {:?} (weak/medium/strong)\n", fleet.len(), fleet.class_counts());
+    println!(
+        "Test-bed: {} devices {:?} (weak/medium/strong)\n",
+        fleet.len(),
+        fleet.class_counts()
+    );
 
     for kind in [MethodKind::HeteroFl, MethodKind::AdaptiveFl] {
         let mut sim = Simulation::prepare(&cfg, &spec, Partition::ByGroup)

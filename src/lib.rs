@@ -18,7 +18,9 @@
 //!   plans,
 //! * [`data`] — synthetic federated datasets and partitioners,
 //! * [`device`] — heterogeneous device simulation,
-//! * [`core`] — the AdaptiveFL engine and baselines.
+//! * [`core`] — the AdaptiveFL engine and baselines,
+//! * [`comm`] — simulated transport: wire encoding, fault injection,
+//!   round deadlines, parallel client execution.
 //!
 //! # Quickstart
 //!
@@ -45,6 +47,9 @@
 //! `adaptivefl-bench` crate for the binaries that regenerate every
 //! table and figure of the paper.
 
+/// Simulated federated transport: wire messages, fault injection,
+/// round deadlines, parallel client execution.
+pub use adaptivefl_comm as comm;
 /// The AdaptiveFL engine: pool, pruning, RL selection, aggregation,
 /// methods, simulator.
 pub use adaptivefl_core as core;

@@ -126,7 +126,11 @@ fn eval_levels_match_method_structure() {
     let mut sim = Simulation::prepare(&cfg, &spec4(), Partition::Iid);
     let het = sim.run(MethodKind::AdaptiveFl);
     assert_eq!(het.evals[0].levels.len(), 3);
-    let names: Vec<&str> = het.evals[0].levels.iter().map(|(n, _)| n.as_str()).collect();
+    let names: Vec<&str> = het.evals[0]
+        .levels
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .collect();
     assert_eq!(names, vec!["S_1", "M_1", "L_1"]);
     let all = sim.run(MethodKind::AllLarge);
     assert!(all.evals[0].levels.is_empty());
@@ -170,5 +174,9 @@ fn fedprox_variant_runs() {
     cfg.local = cfg.local.with_prox(0.1);
     let mut sim = Simulation::prepare(&cfg, &spec4(), Partition::Dirichlet(0.3));
     let r = sim.run(MethodKind::AdaptiveFl);
-    assert!(r.final_full_accuracy() > 0.25, "{}", r.final_full_accuracy());
+    assert!(
+        r.final_full_accuracy() > 0.25,
+        "{}",
+        r.final_full_accuracy()
+    );
 }

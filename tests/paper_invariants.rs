@@ -31,9 +31,15 @@ fn table1_sizes_reproduce() {
             .find(|e| e.name() == *name)
             .unwrap_or_else(|| panic!("{name} missing from pool"));
         let got_m = e.params as f64 / 1e6;
-        assert!((got_m - params_m).abs() < 0.08, "{name}: {got_m:.2}M vs paper {params_m}M");
+        assert!(
+            (got_m - params_m).abs() < 0.08,
+            "{name}: {got_m:.2}M vs paper {params_m}M"
+        );
         let got_ratio = e.params as f64 / full;
-        assert!((got_ratio - ratio).abs() < 0.01, "{name}: ratio {got_ratio:.2} vs {ratio}");
+        assert!(
+            (got_ratio - ratio).abs() < 0.01,
+            "{name}: ratio {got_ratio:.2} vs {ratio}"
+        );
     }
 }
 
@@ -86,13 +92,20 @@ fn heterofl_fails_where_adaptivefl_adapts() {
     spec.input = (3, 8, 8);
     let mut cfg = SimConfig::quick_test(951);
     cfg.rounds = 6;
-    cfg.dynamics = ResourceDynamics::Spiky { jitter: 0.05, drop_prob: 0.5, drop_to: 0.3 };
+    cfg.dynamics = ResourceDynamics::Spiky {
+        jitter: 0.05,
+        drop_prob: 0.5,
+        drop_to: 0.3,
+    };
     let mut sim = Simulation::prepare(&cfg, &spec, Partition::Iid);
     let het = sim.run(MethodKind::HeteroFl);
     let ours = sim.run(MethodKind::AdaptiveFl);
     let het_failures: usize = het.rounds.iter().map(|r| r.failures).sum();
     let our_failures: usize = ours.rounds.iter().map(|r| r.failures).sum();
-    assert!(het_failures > 0, "spiky resources must break static assignment");
+    assert!(
+        het_failures > 0,
+        "spiky resources must break static assignment"
+    );
     assert!(
         our_failures <= het_failures,
         "adaptive pruning should fail at most as often ({our_failures} vs {het_failures})"
@@ -122,7 +135,11 @@ fn client_pruning_respects_capacity_and_nesting() {
     let pool = ModelPool::split(&cfg, 3, DEFAULT_RATIOS);
     let full = pool.largest();
     for e in pool.entries() {
-        assert!(e.plan.nested_in(&full.plan), "{} not nested in L_1", e.name());
+        assert!(
+            e.plan.nested_in(&full.plan),
+            "{} not nested in L_1",
+            e.name()
+        );
     }
     for received in 0..pool.len() {
         for capacity in [0u64, full.params / 4, full.params / 2, full.params * 2] {

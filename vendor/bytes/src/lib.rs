@@ -1,0 +1,318 @@
+//! Offline stand-in for the `bytes` crate: the subset the workspace
+//! uses for wire frames. `Bytes` is a cheaply-cloneable immutable
+//! buffer, `BytesMut` an append buffer, and `Buf`/`BufMut` the
+//! big-endian read/write cursors (matching upstream's byte order).
+
+use std::sync::Arc;
+
+/// An immutable, cheaply-cloneable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns a sub-buffer sharing the same allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice out of bounds"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Bytes {
+            data: Arc::new(data),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// A growable byte buffer for building frames.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Big-endian write cursor.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_i8(&mut self, v: i8) {
+        self.put_slice(&[v as u8]);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_f32(&mut self, v: f32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Big-endian read cursor.
+///
+/// # Panics
+///
+/// All getters panic when fewer than the requested bytes remain,
+/// matching upstream; length-check with [`Buf::remaining`] first for
+/// fallible decoding.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Copies `dst.len()` bytes out and advances.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    fn get_i8(&mut self) -> i8 {
+        self.get_u8() as i8
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    fn get_f32(&mut self) -> f32 {
+        f32::from_be_bytes(self.get_u32().to_be_bytes())
+    }
+
+    fn get_f64(&mut self) -> f64 {
+        f64::from_be_bytes(self.get_u64().to_be_bytes())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "buffer underflow");
+        *self = &self[n..];
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "buffer underflow");
+        self.start += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_i8(-3);
+        buf.put_u16(515);
+        buf.put_u32(70_000);
+        buf.put_u64(1 << 40);
+        buf.put_f32(-2.5);
+        buf.put_f64(std::f64::consts::PI);
+        let frozen = buf.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_i8(), -3);
+        assert_eq!(r.get_u16(), 515);
+        assert_eq!(r.get_u32(), 70_000);
+        assert_eq!(r.get_u64(), 1 << 40);
+        assert_eq!(r.get_f32(), -2.5);
+        assert_eq!(r.get_f64(), std::f64::consts::PI);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn big_endian_layout() {
+        let mut buf = BytesMut::new();
+        buf.put_u16(0x0102);
+        assert_eq!(&buf[..], &[1, 2]);
+    }
+
+    #[test]
+    fn bytes_slice_shares_and_reads() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let mut s = b.slice(2..6);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.get_u16(), 0x0203);
+        assert_eq!(s.remaining(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut r: &[u8] = &[1, 2];
+        let _ = r.get_u32();
+    }
+}

@@ -1,0 +1,204 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark
+//! harness exposing the `Criterion`/`Bencher` builder surface and the
+//! `criterion_group!`/`criterion_main!` macros. Reports mean/min/max
+//! per benchmark to stdout; no plots, no statistics engine.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for call sites that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Benchmark harness configuration and runner.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up: run the routine until the warm-up budget elapses.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            if b.iters == 0 {
+                break;
+            }
+        }
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let run_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            if b.iters > 0 {
+                samples_ns.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+            }
+            if run_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+
+        if samples_ns.is_empty() {
+            println!("{id:<40} no samples");
+            return self;
+        }
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples_ns.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{id:<40} time: [{} {} {}]  ({} samples)",
+            format_ns(min),
+            format_ns(mean),
+            format_ns(max),
+            samples_ns.len()
+        );
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Times the routine under test.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` once under the timer. Each call accumulates into
+    /// the current sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        black_box(out);
+    }
+}
+
+/// Groups benchmark functions, in either criterion form:
+/// `criterion_group!(name, target1, target2)` or
+/// `criterion_group! { name = n; config = expr; targets = t1, t2 }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        quick().bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 0, "routine must actually run");
+    }
+
+    #[test]
+    fn group_macro_both_forms_compile() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        }
+        criterion_group! {
+            name = structured;
+            config = super::tests::quick();
+            targets = target
+        }
+        criterion_group!(positional, target);
+        structured();
+        positional();
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with(" s"));
+    }
+}

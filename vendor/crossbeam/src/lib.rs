@@ -1,0 +1,107 @@
+//! Offline stand-in for `crossbeam`: scoped threads layered on
+//! `std::thread::scope` (std has provided structured scopes since
+//! 1.63, so the stand-in is a thin adapter keeping crossbeam's
+//! call shape: `scope(|s| { s.spawn(|_| ...); })`).
+
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// The result of a scope: `Err` holds a payload if any spawned
+    /// thread panicked.
+    pub type Result<T> = std_thread::Result<T>;
+
+    /// A handle for spawning threads tied to the enclosing scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread that may borrow from outside the scope.
+        /// The closure receives the scope handle (crossbeam style) so
+        /// nested spawns are possible.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope.spawn(move || {
+                    let scope = Scope { inner: inner_scope };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; joins all unjoined spawned
+    /// threads before returning. Returns `Err` if any spawned thread
+    /// panicked (after all threads complete).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std_thread::scope(|s| {
+                let scope = Scope { inner: s };
+                f(&scope)
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let counter = AtomicUsize::new(0);
+        let counter = &counter;
+        let data = [1usize, 2, 3, 4];
+        let out = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&x| s.spawn(move |_| counter.fetch_add(x, Ordering::SeqCst)))
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            counter.load(Ordering::SeqCst)
+        })
+        .unwrap();
+        assert_eq!(out, 10);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let out = thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn panic_in_thread_is_reported() {
+        let r = thread::scope(|s| {
+            s.spawn::<_, ()>(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! Offline stand-in for the `rand` crate (0.8 API surface).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal, dependency-free implementation of exactly the
+//! APIs it uses: [`RngCore`], the [`Rng`] extension trait (`gen`,
+//! `gen_range`, `gen_bool`, `sample`), [`SeedableRng`] with the
+//! SplitMix64 `seed_from_u64` expansion, the [`distributions`] module
+//! (`Standard`, `Uniform`, the `Distribution` trait), and
+//! [`seq::SliceRandom`] (Fisher–Yates `shuffle`/`choose`).
+//!
+//! The numeric streams are *not* bit-compatible with upstream `rand`;
+//! every consumer in this workspace only requires determinism per seed,
+//! which this implementation provides on all platforms.
+
+pub mod distributions;
+pub mod seq;
+
+use distributions::uniform::{SampleRange, SampleUniform};
+use distributions::{Distribution, Standard};
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let w = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&w[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T
+    where
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator seedable from a fixed-size byte seed or a single `u64`.
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64 (the same
+    /// construction upstream `rand` uses, so distinct `u64` seeds give
+    /// well-separated states).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let x = splitmix64(&mut sm).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&x[..n]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Seeds from the system clock — only for throwaway generators.
+    fn from_entropy() -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5EED);
+        Self::seed_from_u64(nanos)
+    }
+}
+
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Sm(u64);
+
+    impl RngCore for Sm {
+        fn next_u32(&mut self) -> u32 {
+            (splitmix64(&mut self.0) >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.0)
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_and_stays_in_bounds() {
+        let mut r = Sm(1);
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            let v = r.gen_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let v = r.gen_range(5u64..=7);
+            assert!((5..=7).contains(&v));
+            let f = r.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_in_unit_interval() {
+        let mut r = Sm(2);
+        for _ in 0..100 {
+            let a = r.gen::<f64>();
+            let b = r.gen::<f32>();
+            assert!((0.0..1.0).contains(&a));
+            assert!((0.0..1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = Sm(3);
+        let hits = (0..2000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((380..620).contains(&hits), "hits {hits}");
+    }
+}

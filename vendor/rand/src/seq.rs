@@ -1,0 +1,73 @@
+//! Sequence helpers: shuffling and random element choice.
+
+use crate::distributions::uniform::SampleUniform;
+use crate::RngCore;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = usize::sample_between(rng, 0, i, true);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = usize::sample_between(rng, 0, self.len(), false);
+            Some(&self[i])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::splitmix64;
+
+    struct Sm(u64);
+
+    impl RngCore for Sm {
+        fn next_u32(&mut self) -> u32 {
+            (splitmix64(&mut self.0) >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.0)
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Sm(7);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements should move");
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut r = Sm(8);
+        let v: Vec<u8> = vec![];
+        assert!(v.choose(&mut r).is_none());
+        assert!([1, 2, 3].choose(&mut r).is_some());
+    }
+}

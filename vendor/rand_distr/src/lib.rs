@@ -1,0 +1,225 @@
+//! Offline stand-in for `rand_distr`: the `Normal` and `Gamma`
+//! distributions the workspace samples from, over the vendored `rand`
+//! traits. Algorithms are the standard ones (Box–Muller and
+//! Marsaglia–Tsang), so statistical behavior matches upstream even
+//! though the exact draw sequences differ.
+
+use rand::distributions::Standard;
+use rand::RngCore;
+
+pub use rand::distributions::{Distribution, Uniform};
+
+/// Error type for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// Standard deviation or shape parameter was not finite/positive.
+    BadParam,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Floating-point scalar usable by the distributions here.
+pub trait Float: Copy + PartialOrd {
+    fn from_f64(x: f64) -> Self;
+    fn to_f64(self) -> f64;
+}
+
+impl Float for f32 {
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl Float for f64 {
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+/// Draws a standard-normal f64 via Box–Muller.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = Standard.sample(rng);
+        let u2: f64 = Standard.sample(rng);
+        if u1 > 0.0 {
+            let r = (-2.0 * u1.ln()).sqrt();
+            return r * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal<F: Float> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Creates a normal distribution; `std_dev` must be finite and
+    /// non-negative.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, Error> {
+        let sd = std_dev.to_f64();
+        if !sd.is_finite() || sd < 0.0 {
+            return Err(Error::BadParam);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        let z = standard_normal(rng);
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * z)
+    }
+}
+
+/// The gamma distribution with the given shape and scale.
+#[derive(Debug, Clone, Copy)]
+pub struct Gamma<F: Float> {
+    shape: F,
+    scale: F,
+}
+
+impl<F: Float> Gamma<F> {
+    /// Creates a gamma distribution; both parameters must be finite
+    /// and positive.
+    pub fn new(shape: F, scale: F) -> Result<Self, Error> {
+        let (k, s) = (shape.to_f64(), scale.to_f64());
+        if !k.is_finite() || k <= 0.0 || !s.is_finite() || s <= 0.0 {
+            return Err(Error::BadParam);
+        }
+        Ok(Gamma { shape, scale })
+    }
+}
+
+impl<F: Float> Distribution<F> for Gamma<F> {
+    /// Marsaglia–Tsang squeeze method; shape < 1 handled with the
+    /// standard `U^(1/k)` boost.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        let shape = self.shape.to_f64();
+        let scale = self.scale.to_f64();
+        let (k, boost) = if shape < 1.0 {
+            let u: f64 = Standard.sample(rng);
+            // Guard u == 0 so the boost stays finite.
+            (shape + 1.0, u.max(f64::MIN_POSITIVE).powf(1.0 / shape))
+        } else {
+            (shape, 1.0)
+        };
+        let d = k - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = standard_normal(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u: f64 = Standard.sample(rng);
+            let x2 = x * x;
+            if u < 1.0 - 0.0331 * x2 * x2
+                || u.max(f64::MIN_POSITIVE).ln() < 0.5 * x2 + d * (1.0 - v + v.ln())
+            {
+                return F::from_f64(d * v * boost * scale);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, RngCore};
+
+    struct Sm(u64);
+
+    impl RngCore for Sm {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Normal::new(0.0f32, f32::NAN).is_err());
+        assert!(Normal::new(0.0f32, 0.5).is_ok());
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let mut r = Sm(3);
+        let d = Normal::new(2.0f64, 3.0).unwrap();
+        let xs: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
+        let (mean, var) = moments(&xs);
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn gamma_rejects_bad_params() {
+        assert!(Gamma::new(0.0f64, 1.0).is_err());
+        assert!(Gamma::new(1.0f64, -1.0).is_err());
+        assert!(Gamma::new(0.5f64, 1.0).is_ok());
+    }
+
+    #[test]
+    fn gamma_moments_match_for_large_and_small_shape() {
+        let mut r = Sm(4);
+        for &shape in &[0.3f64, 2.5] {
+            let d = Gamma::new(shape, 1.0).unwrap();
+            let xs: Vec<f64> = (0..40_000).map(|_| d.sample(&mut r)).collect();
+            let (mean, var) = moments(&xs);
+            assert!((mean - shape).abs() < 0.08, "shape {shape}: mean {mean}");
+            assert!((var - shape).abs() < 0.25, "shape {shape}: var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_samples_are_positive() {
+        let mut r = Sm(5);
+        let d = Gamma::new(0.1f64, 1.0).unwrap();
+        for _ in 0..2000 {
+            assert!(d.sample(&mut r) > 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_reexport_works() {
+        let mut r = Sm(6);
+        let d = Uniform::new_inclusive(-1.0f32, 1.0f32);
+        for _ in 0..100 {
+            let x = d.sample(&mut r);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+        let _ = r.gen::<f32>();
+    }
+}

@@ -1,0 +1,156 @@
+//! Exercises the hand-rolled derive macros over every shape the
+//! workspace uses: named structs, newtype/tuple structs, enums with
+//! unit/tuple/struct variants, and the `#[serde(default)]` attrs.
+
+use serde::{Deserialize, Serialize, Value};
+
+fn default_availability() -> f64 {
+    0.9
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    pub name: String,
+    pub dims: Vec<usize>,
+    #[serde(default)]
+    pub relu: bool,
+    #[serde(default = "default_availability")]
+    pub availability: f64,
+    pub scale: (f32, f32),
+    pub tags: std::collections::BTreeMap<String, u32>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Wrapper(pub u64);
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pair(pub u32, pub String);
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Dynamics {
+    Still,
+    Jitter { jitter: f64 },
+    Spiky { jitter: f64, drop_prob: f64 },
+    Scaled(f32),
+    Pinned(u32, u32),
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Nested {
+    pub inner: Profile,
+    pub modes: Vec<Dynamics>,
+    pub maybe: Option<Wrapper>,
+}
+
+fn sample_profile() -> Profile {
+    let mut tags = std::collections::BTreeMap::new();
+    tags.insert("k".to_string(), 3u32);
+    Profile {
+        name: "edge-7".to_string(),
+        dims: vec![8, 4, 3, 3],
+        relu: true,
+        availability: 0.42,
+        scale: (1.5, -2.0),
+        tags,
+    }
+}
+
+#[test]
+fn named_struct_roundtrip() {
+    let p = sample_profile();
+    assert_eq!(Profile::from_value(&p.to_value()).unwrap(), p);
+}
+
+#[test]
+fn missing_fields_use_defaults() {
+    let mut m = serde::Map::new();
+    m.insert("name".to_string(), Value::String("x".to_string()));
+    m.insert("dims".to_string(), Value::Array(vec![]));
+    m.insert("scale".to_string(), (0.0f32, 0.0f32).to_value());
+    m.insert("tags".to_string(), Value::Object(serde::Map::new()));
+    let p = Profile::from_value(&Value::Object(m)).unwrap();
+    assert!(!p.relu, "serde(default) should give bool::default()");
+    assert_eq!(
+        p.availability, 0.9,
+        "serde(default = path) should call the fn"
+    );
+}
+
+#[test]
+fn missing_required_field_errors() {
+    let m = serde::Map::new();
+    let err = Profile::from_value(&Value::Object(m)).unwrap_err();
+    assert!(err.to_string().contains("name"), "{err}");
+}
+
+#[test]
+fn tuple_structs_roundtrip() {
+    let w = Wrapper(99);
+    // Newtype is transparent, like upstream serde.
+    assert_eq!(w.to_value(), 99u64.to_value());
+    assert_eq!(Wrapper::from_value(&w.to_value()).unwrap(), w);
+    let p = Pair(7, "seven".to_string());
+    assert_eq!(Pair::from_value(&p.to_value()).unwrap(), p);
+}
+
+#[test]
+fn enum_variants_roundtrip() {
+    for d in [
+        Dynamics::Still,
+        Dynamics::Jitter { jitter: 0.1 },
+        Dynamics::Spiky {
+            jitter: 0.1,
+            drop_prob: 0.05,
+        },
+        Dynamics::Scaled(0.5),
+        Dynamics::Pinned(3, 4),
+    ] {
+        assert_eq!(Dynamics::from_value(&d.to_value()).unwrap(), d, "{d:?}");
+    }
+}
+
+#[test]
+fn enum_tagging_is_external() {
+    assert_eq!(
+        Dynamics::Still.to_value(),
+        Value::String("Still".to_string())
+    );
+    let v = Dynamics::Jitter { jitter: 0.25 }.to_value();
+    let obj = v.as_object().unwrap();
+    assert_eq!(obj.keys().collect::<Vec<_>>(), ["Jitter"]);
+    assert_eq!(
+        obj.get("Jitter").unwrap().get("jitter").unwrap().as_f64(),
+        Some(0.25)
+    );
+}
+
+#[test]
+fn unknown_variant_errors() {
+    let err = Dynamics::from_value(&Value::String("Wobbly".to_string())).unwrap_err();
+    assert!(err.to_string().contains("Wobbly"), "{err}");
+}
+
+#[test]
+fn nested_structures_roundtrip() {
+    let n = Nested {
+        inner: sample_profile(),
+        modes: vec![Dynamics::Still, Dynamics::Pinned(1, 2)],
+        maybe: None,
+    };
+    assert_eq!(Nested::from_value(&n.to_value()).unwrap(), n);
+    let n2 = Nested {
+        maybe: Some(Wrapper(5)),
+        ..n
+    };
+    assert_eq!(Nested::from_value(&n2.to_value()).unwrap(), n2);
+}
+
+#[test]
+fn object_fields_keep_declaration_order() {
+    let v = sample_profile().to_value();
+    let keys: Vec<&String> = v.as_object().unwrap().keys().collect();
+    assert_eq!(
+        keys,
+        ["name", "dims", "relu", "availability", "scale", "tags"]
+    );
+}

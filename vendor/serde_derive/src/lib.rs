@@ -1,0 +1,564 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` implemented directly on `proc_macro`
+//! token trees (no `syn`/`quote`), generating impls of the vendored
+//! value-tree `serde` traits.
+//!
+//! Supported shapes — everything this workspace derives on:
+//! named structs, tuple structs (newtype = transparent), unit
+//! structs, and enums with unit / tuple / struct variants (externally
+//! tagged, like upstream). Field attributes: `#[serde(default)]` and
+//! `#[serde(default = "path")]`. Generic types are rejected with a
+//! clear error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum DefaultAttr {
+    /// Field is required.
+    None,
+    /// `#[serde(default)]` — `Default::default()` when missing.
+    Std,
+    /// `#[serde(default = "path")]` — call `path()` when missing.
+    Path(String),
+}
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    default: DefaultAttr,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Token-tree parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes leading `#[...]` attributes, returning the serde
+    /// default spec if one is present among them.
+    fn take_attrs(&mut self) -> DefaultAttr {
+        let mut default = DefaultAttr::None;
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.next();
+                    match self.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                            if let Some(d) = parse_serde_attr(g.stream()) {
+                                default = d;
+                            }
+                        }
+                        other => panic!("expected [...] after # in attribute, got {other:?}"),
+                    }
+                }
+                _ => return default,
+            }
+        }
+    }
+
+    /// Consumes `pub`, `pub(crate)`, `pub(in ...)` if present.
+    fn take_visibility(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Consumes type tokens up to a top-level `,` (angle-bracket
+    /// aware); returns false when the cursor was already at the end.
+    fn skip_type(&mut self) -> bool {
+        let mut angle: i32 = 0;
+        let mut saw_any = false;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    self.next();
+                    return true;
+                }
+                _ => {}
+            }
+            saw_any = true;
+            self.next();
+        }
+        saw_any
+    }
+}
+
+/// Parses the inside of one `#[...]`; `Some` if it was a
+/// `serde(default…)` attribute.
+fn parse_serde_attr(stream: TokenStream) -> Option<DefaultAttr> {
+    let mut c = Cursor::new(stream);
+    match c.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let group = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        _ => return None,
+    };
+    let mut inner = Cursor::new(group.stream());
+    while let Some(t) = inner.next() {
+        if let TokenTree::Ident(i) = &t {
+            if i.to_string() == "default" {
+                if let Some(TokenTree::Punct(p)) = inner.peek() {
+                    if p.as_char() == '=' {
+                        inner.next();
+                        if let Some(TokenTree::Literal(l)) = inner.next() {
+                            let raw = l.to_string();
+                            let path = raw.trim_matches('"').to_string();
+                            return Some(DefaultAttr::Path(path));
+                        }
+                        panic!("expected string literal after serde(default =)");
+                    }
+                }
+                return Some(DefaultAttr::Std);
+            }
+        }
+    }
+    None
+}
+
+/// Parses the named fields inside a brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let default = c.take_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.take_visibility();
+        let name = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected : after field `{name}`, got {other:?}"),
+        }
+        c.skip_type();
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple-struct/tuple-variant paren group.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut arity = 0;
+    loop {
+        let _ = c.take_attrs();
+        c.take_visibility();
+        if !c.skip_type() {
+            return arity;
+        }
+        arity += 1;
+        if c.at_end() {
+            return arity;
+        }
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        let _ = c.take_attrs();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                c.next();
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Optional discriminant (`= expr`) then `,`.
+        match c.next() {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                while let Some(t) = c.next() {
+                    if matches!(&t, TokenTree::Punct(q) if q.as_char() == ',') {
+                        break;
+                    }
+                }
+            }
+            other => panic!("unexpected token after variant `{name}`: {other:?}"),
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    let _ = c.take_attrs();
+    c.take_visibility();
+    let kw = c.expect_ident("struct or enum");
+    let kind = kw.as_str().to_string();
+    let name = c.expect_ident("type name");
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("the vendored serde derive does not support generic type `{name}`");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("unexpected struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("unexpected enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other} {name}`"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn serialize_named_fields(receiver: &str, fields: &[Field]) -> String {
+    let mut code = String::from("{ let mut __m = ::serde::Map::new();\n");
+    for f in fields {
+        code.push_str(&format!(
+            "__m.insert(\"{n}\".to_string(), ::serde::Serialize::to_value(&{receiver}{n}));\n",
+            n = f.name
+        ));
+    }
+    code.push_str("::serde::Value::Object(__m) }");
+    code
+}
+
+/// Emits the field initializer for a missing-or-present object entry.
+fn deserialize_field(obj: &str, f: &Field, ty_name: &str) -> String {
+    let missing = match &f.default {
+        DefaultAttr::None => format!(
+            "return ::std::result::Result::Err(::serde::DeError::custom(\
+             \"missing field `{}` for {}\"))",
+            f.name, ty_name
+        ),
+        DefaultAttr::Std => "::std::default::Default::default()".to_string(),
+        DefaultAttr::Path(p) => format!("{p}()"),
+    };
+    format!(
+        "{n}: match {obj}.get(\"{n}\") {{\n\
+         ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+         ::std::option::Option::None => {missing},\n\
+         }}",
+        n = f.name
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => (name, serialize_named_fields("self.", fields)),
+        Item::TupleStruct { name, arity: 1 } => {
+            (name, "::serde::Serialize::to_value(&self.0)".to_string())
+        }
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            (
+                name,
+                format!("::serde::Value::Array(vec![{}])", items.join(", ")),
+            )
+        }
+        Item::UnitStruct { name } => (name, "::serde::Value::Null".to_string()),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => {{ let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(\"{v}\".to_string(), {inner});\n\
+                             ::serde::Value::Object(__outer) }}\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from("{ let mut __m = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__m.insert(\"{n}\".to_string(), \
+                                 ::serde::Serialize::to_value({n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        inner.push_str("::serde::Value::Object(__m) }");
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{ \
+                             let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(\"{v}\".to_string(), {inner});\n\
+                             ::serde::Value::Object(__outer) }}\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{\n{arms}}}"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| deserialize_field("__obj", f, name))
+                .collect();
+            (
+                name,
+                format!(
+                    "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected object for {name}\"))?;\n\
+                     ::std::result::Result::Ok({name} {{\n{}\n}})",
+                    inits.join(",\n")
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => (
+            name,
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "let __items = __v.as_array().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected array for {name}\"))?;\n\
+                     if __items.len() != {arity} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::custom(\
+                     \"wrong tuple arity for {name}\"));\n}}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                ),
+            )
+        }
+        Item::UnitStruct { name } => (name, format!("::std::result::Result::Ok({name})")),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(__inner)?)),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let __items = __inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected array for {name}::{v}\"))?;\n\
+                             if __items.len() != {arity} {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::custom(\
+                             \"wrong arity for {name}::{v}\"));\n}}\n\
+                             ::std::result::Result::Ok({name}::{v}({items}))\n}}\n",
+                            v = v.name,
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let full = format!("{name}::{v}", v = v.name);
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| deserialize_field("__obj", f, &full))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let __obj = __inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected object for {full}\"))?;\n\
+                             ::std::result::Result::Ok({full} {{\n{inits}\n}})\n}}\n",
+                            v = v.name,
+                            inits = inits.join(",\n")
+                        ));
+                    }
+                }
+            }
+            (
+                name,
+                format!(
+                    "match __v {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__m) => {{\n\
+                     let (__k, __inner) = __m.iter().next().ok_or_else(|| \
+                     ::serde::DeError::custom(\"empty object for {name}\"))?;\n\
+                     match __k.as_str() {{\n\
+                     {data_arms}\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                     }}\n}}\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                     \"expected string or object for {name}\")),\n\
+                     }}"
+                ),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Derives the vendored `serde::Serialize` (value-tree) trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` (value-tree) trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
