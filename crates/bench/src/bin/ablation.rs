@@ -12,7 +12,8 @@
 //! ```
 
 use adaptivefl_bench::{
-    experiment_cfg, paper_models, pct, print_table, syn_cifar10, write_json, Args,
+    experiment_cfg, paper_models, pct, print_table, run_kind, run_method, syn_cifar10, write_json,
+    Args,
 };
 use adaptivefl_core::methods::{AdaptiveFl, MethodKind};
 use adaptivefl_core::select::SelectionStrategy;
@@ -37,10 +38,15 @@ fn main() {
 
     // (a) pool granularity sweep.
     for p in [1usize, 2, 3, 4] {
-        let mut cfg = experiment_cfg(resnet, args, false);
+        let mut cfg = experiment_cfg(resnet, &args, false);
         cfg.p = p;
         let mut sim = Simulation::prepare(&cfg, &spec, Partition::Dirichlet(0.6));
-        let r = sim.run(MethodKind::AdaptiveFl);
+        let r = run_kind(
+            &mut sim,
+            MethodKind::AdaptiveFl,
+            &args,
+            &format!("ablation-p{p}"),
+        );
         println!(
             "p = {p}: full {}%  waste {:.1}%",
             pct(r.best_full_accuracy()),
@@ -57,11 +63,19 @@ fn main() {
 
     // (b) reward cap on/off.
     for (label, cap) in [("cap=0.5 (paper)", 0.5f64), ("cap=1.0 (off)", 1.0)] {
-        let cfg = experiment_cfg(resnet, args, false);
+        let cfg = experiment_cfg(resnet, &args, false);
         let mut sim = Simulation::prepare(&cfg, &spec, Partition::Dirichlet(0.6));
-        let method = AdaptiveFl::new(sim.env(), SelectionStrategy::CuriosityAndResource, false)
-            .with_reward_cap(cap);
-        let r = sim.run_method(Box::new(method));
+        let r = run_method(
+            &mut sim,
+            |env| {
+                Box::new(
+                    AdaptiveFl::new(env, SelectionStrategy::CuriosityAndResource, false)
+                        .with_reward_cap(cap),
+                )
+            },
+            &args,
+            &format!("ablation-cap{cap}"),
+        );
         println!(
             "{label}: full {}%  waste {:.1}%",
             pct(r.best_full_accuracy()),
@@ -78,11 +92,16 @@ fn main() {
 
     // (c) level width-ratio pairs around the paper's (0.40, 0.66).
     for ratios in [(0.30f32, 0.55f32), (0.40, 0.66), (0.50, 0.75)] {
-        let mut cfg = experiment_cfg(resnet, args, false);
+        let mut cfg = experiment_cfg(resnet, &args, false);
         cfg.ratios = ratios;
         let mut sim = Simulation::prepare(&cfg, &spec, Partition::Dirichlet(0.6));
-        let r = sim.run(MethodKind::AdaptiveFl);
         let label = format!("S={},M={}", ratios.0, ratios.1);
+        let r = run_kind(
+            &mut sim,
+            MethodKind::AdaptiveFl,
+            &args,
+            &format!("ablation-ratios-{label}"),
+        );
         println!(
             "{label}: full {}%  waste {:.1}%",
             pct(r.best_full_accuracy()),

@@ -8,7 +8,7 @@
 //! ```
 
 use adaptivefl_bench::{
-    experiment_cfg, paper_models, pct, syn_cifar10, syn_cifar100, write_csv, Args,
+    experiment_cfg, paper_models, pct, run_kind, syn_cifar10, syn_cifar100, write_csv, Args,
 };
 use adaptivefl_core::methods::MethodKind;
 use adaptivefl_core::sim::Simulation;
@@ -31,12 +31,12 @@ fn main() {
     for (panel, spec, partition) in panels {
         let [(_, vgg), _] = paper_models(spec.classes, spec.input);
         let hard = panel.starts_with("cifar100");
-        let mut cfg = experiment_cfg(vgg, args, hard);
+        let mut cfg = experiment_cfg(vgg, &args, hard);
         cfg.eval_every = (cfg.rounds / 8).max(1); // denser curves
         println!("\n--- panel {panel} ---");
         let mut sim = Simulation::prepare(&cfg, &spec, partition);
         for kind in MethodKind::table2_lineup() {
-            let r = sim.run(kind);
+            let r = run_kind(&mut sim, kind, &args, &format!("fig2-{panel}-{kind}"));
             print!("  {:<12}", r.method);
             for (round, _, avg) in r.curve() {
                 print!(" {}:{}", round + 1, pct(avg));

@@ -11,7 +11,7 @@
 //! ```
 
 use adaptivefl_bench::{
-    experiment_cfg, paper_models, pct, print_table, syn_cifar10, write_json, Args,
+    experiment_cfg, paper_models, pct, print_table, run_kind, syn_cifar10, write_json, Args,
 };
 use adaptivefl_core::methods::MethodKind;
 use adaptivefl_core::sim::Simulation;
@@ -29,7 +29,7 @@ fn main() {
     let args = Args::parse();
     let spec = syn_cifar10();
     let [(_, vgg), _] = paper_models(spec.classes, spec.input);
-    let cfg = experiment_cfg(vgg, args, false);
+    let cfg = experiment_cfg(vgg, &args, false);
     let methods = [
         MethodKind::Decoupled,
         MethodKind::HeteroFl,
@@ -41,7 +41,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut sim = Simulation::prepare(&cfg, &spec, Partition::Iid);
     for kind in methods {
-        let r = sim.run(kind);
+        let r = run_kind(&mut sim, kind, &args, &format!("fig3-{kind}"));
         let last = r.evals.last().expect("evaluated");
         let mut row = vec![r.method.clone()];
         for (level, acc) in &last.levels {

@@ -6,7 +6,7 @@
 //! cargo run --release -p adaptivefl-bench --bin fig4 [--full]
 //! ```
 
-use adaptivefl_bench::{experiment_cfg, paper_models, pct, syn_cifar10, write_csv, Args};
+use adaptivefl_bench::{experiment_cfg, paper_models, pct, run_kind, syn_cifar10, write_csv, Args};
 use adaptivefl_core::methods::MethodKind;
 use adaptivefl_core::sim::Simulation;
 use adaptivefl_data::Partition;
@@ -29,7 +29,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for &n in client_counts {
-        let mut cfg = experiment_cfg(resnet, args, false);
+        let mut cfg = experiment_cfg(resnet, &args, false);
         cfg.num_clients = n;
         cfg.clients_per_round = (n / 10).max(2);
         // Keep the global data volume roughly constant so runs stay
@@ -38,7 +38,7 @@ fn main() {
         println!("\n--- {n} clients (K = {}) ---", cfg.clients_per_round);
         let mut sim = Simulation::prepare(&cfg, &spec, Partition::Dirichlet(0.6));
         for kind in methods {
-            let r = sim.run(kind);
+            let r = run_kind(&mut sim, kind, &args, &format!("fig4-n{n}-{kind}"));
             print!("  {:<12}", r.method);
             for (round, full, _) in r.curve() {
                 print!(" {}:{}", round + 1, pct(full));

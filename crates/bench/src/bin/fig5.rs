@@ -7,7 +7,7 @@
 //! ```
 
 use adaptivefl_bench::{
-    experiment_cfg, paper_models, pct, print_table, syn_cifar100, write_json, Args,
+    experiment_cfg, paper_models, pct, print_table, run_kind, syn_cifar100, write_json, Args,
 };
 use adaptivefl_core::methods::MethodKind;
 use adaptivefl_core::select::SelectionStrategy;
@@ -29,7 +29,7 @@ fn main() {
     let args = Args::parse();
     let spec = syn_cifar100();
     let [_, (_, resnet)] = paper_models(spec.classes, spec.input);
-    let cfg = experiment_cfg(resnet, args, true);
+    let cfg = experiment_cfg(resnet, &args, true);
     let variants = [
         MethodKind::AdaptiveFlGreedy,
         MethodKind::AdaptiveFlVariant(SelectionStrategy::Random),
@@ -41,7 +41,7 @@ fn main() {
     let mut results = Vec::new();
     let mut sim = Simulation::prepare(&cfg, &spec, Partition::Iid);
     for kind in variants {
-        let r = sim.run(kind);
+        let r = run_kind(&mut sim, kind, &args, &format!("fig5-{kind}"));
         results.push(VariantResult {
             variant: r.method.clone(),
             comm_waste: r.comm_waste_rate(),

@@ -6,7 +6,7 @@
 //! cargo run --release -p adaptivefl-bench --bin fig6 [--full]
 //! ```
 
-use adaptivefl_bench::{pct, syn_widar, write_csv, Args};
+use adaptivefl_bench::{pct, run_kind, syn_widar, write_csv, Args};
 use adaptivefl_core::methods::MethodKind;
 use adaptivefl_core::sim::{SimConfig, Simulation};
 use adaptivefl_data::Partition;
@@ -43,7 +43,7 @@ fn main() {
     for kind in methods {
         let mut sim = Simulation::prepare(&cfg, &spec, Partition::ByGroup)
             .with_fleet(paper_testbed(full_params, cfg.seed));
-        let r = sim.run(kind);
+        let r = run_kind(&mut sim, kind, &args, &format!("fig6-{kind}"));
         println!("\n{} — accuracy vs simulated wall-clock:", r.method);
         for (secs, acc) in r.time_curve() {
             println!("  t = {secs:8.1}s   acc = {:>5}%", pct(acc));

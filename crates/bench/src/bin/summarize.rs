@@ -1,17 +1,74 @@
 //! Renders every record under `results/` into one markdown report
-//! (`results/SUMMARY.md`) — handy after `./run_experiments.sh`.
+//! (`results/SUMMARY.md`) — handy after `./run_experiments.sh`. With
+//! `--resume <dir>` it also reads the newest valid checkpoint of every
+//! run under `<dir>` and reports the persisted histories (method,
+//! completed rounds, best accuracy, communication waste).
 //!
 //! ```text
-//! cargo run --release -p adaptivefl-bench --bin summarize
+//! cargo run --release -p adaptivefl-bench --bin summarize [--resume <dir>]
 //! ```
 
 use std::fmt::Write as _;
 use std::fs;
+use std::path::Path;
 
-use adaptivefl_bench::results_dir;
+use adaptivefl_bench::{results_dir, Args};
+use adaptivefl_core::metrics::RunResult;
+use adaptivefl_store::SnapshotStore;
 use serde_json::Value;
 
+/// One markdown table row per run directory under `dir`, built from
+/// each run's newest valid snapshot. Histories round-trip through the
+/// stable `RoundRecord`/`EvalRecord` codecs, so the derived metrics
+/// (`comm_waste_rate`, best accuracies) match the live run exactly.
+fn checkpoint_section(out: &mut String, dir: &Path) {
+    let _ = writeln!(out, "\n## checkpoints ({})\n", dir.display());
+    let mut runs: Vec<_> = match fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect(),
+        Err(e) => {
+            let _ = writeln!(out, "*(unreadable: {e})*");
+            return;
+        }
+    };
+    runs.sort();
+    let _ = writeln!(
+        out,
+        "| run | method | rounds | best full % | best avg % | waste % | sim secs |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+    let mut shown = 0usize;
+    for run in runs {
+        let name = run.file_name().and_then(|s| s.to_str()).unwrap_or("?");
+        let store = match SnapshotStore::open(&run) {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let Ok(Some((_, snap))) = store.latest_valid() else {
+            let _ = writeln!(out, "| {name} | - | no valid snapshot | - | - | - | - |");
+            continue;
+        };
+        let rounds_done = snap.completed_rounds;
+        let r = RunResult::from_history(snap.method_name.clone(), snap.rounds, snap.evals);
+        let _ = writeln!(
+            out,
+            "| {name} | {} | {rounds_done} | {:.1} | {:.1} | {:.1} | {:.1} |",
+            r.method,
+            100.0 * r.best_full_accuracy(),
+            100.0 * r.best_avg_accuracy(),
+            100.0 * r.comm_waste_rate(),
+            r.total_sim_secs(),
+        );
+        shown += 1;
+    }
+    let _ = writeln!(out, "\n*({shown} checkpointed runs)*");
+}
+
 fn main() {
+    let args = Args::parse();
     let dir = results_dir();
     let mut out = String::from("# AdaptiveFL reproduction — results summary\n");
     let mut entries: Vec<_> = fs::read_dir(&dir)
@@ -83,6 +140,10 @@ fn main() {
             "\n*({} entries)*",
             value.as_array().map_or(1, Vec::len)
         );
+    }
+
+    if let Some(ckpt_dir) = &args.resume {
+        checkpoint_section(&mut out, ckpt_dir);
     }
 
     let target = dir.join("SUMMARY.md");

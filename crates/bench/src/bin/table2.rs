@@ -7,8 +7,8 @@
 //! ```
 
 use adaptivefl_bench::{
-    experiment_cfg, paper_models, pct, print_table, syn_cifar10, syn_cifar100, syn_femnist,
-    write_json, Args,
+    experiment_cfg, paper_models, pct, print_table, run_kind, syn_cifar10, syn_cifar100,
+    syn_femnist, write_json, Args,
 };
 use adaptivefl_core::methods::MethodKind;
 use adaptivefl_core::sim::Simulation;
@@ -60,7 +60,7 @@ fn main() {
         for (model_name, model) in paper_models(spec.classes, spec.input) {
             for (part_name, partition) in partitions {
                 let hard = *ds_name != "SynCIFAR-10";
-                let mut cfg = experiment_cfg(model, args, hard);
+                let mut cfg = experiment_cfg(model, &args, hard);
                 if *ds_name == "SynFEMNIST" {
                     cfg.num_clients = 180; // paper: 180 FEMNIST clients
                     cfg.clients_per_round = 18;
@@ -70,7 +70,8 @@ fn main() {
                 println!("\n--- {model_name} / {ds_name} / {part_name} ---");
                 let mut sim = Simulation::prepare(&cfg, spec, *partition);
                 for kind in MethodKind::table2_lineup() {
-                    let r = sim.run(kind);
+                    let slug = format!("table2-{model_name}-{ds_name}-{part_name}-{kind}");
+                    let r = run_kind(&mut sim, kind, &args, &slug);
                     let (avg, full) = (r.best_avg_accuracy(), r.best_full_accuracy());
                     println!(
                         "  {:<12} avg {:>5}%  full {:>5}%",

@@ -7,7 +7,7 @@
 //! ```
 
 use adaptivefl_bench::{
-    experiment_cfg, paper_models, pct, print_table, syn_cifar10, write_json, Args,
+    experiment_cfg, paper_models, pct, print_table, run_kind, syn_cifar10, write_json, Args,
 };
 use adaptivefl_core::methods::MethodKind;
 use adaptivefl_core::sim::Simulation;
@@ -41,12 +41,12 @@ fn main() {
 
     let mut cells = Vec::new();
     for (pname, prop) in proportions {
-        let mut cfg = experiment_cfg(vgg, args, false);
+        let mut cfg = experiment_cfg(vgg, &args, false);
         cfg.proportions = prop;
         println!("\n--- proportion {pname} ---");
         let mut sim = Simulation::prepare(&cfg, &spec, Partition::Iid);
         for kind in methods {
-            let r = sim.run(kind);
+            let r = run_kind(&mut sim, kind, &args, &format!("table3-{pname}-{kind}"));
             let (avg, full) = (r.best_avg_accuracy(), r.best_full_accuracy());
             println!(
                 "  {:<12} avg {:>5}%  full {:>5}%",

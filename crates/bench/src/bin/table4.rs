@@ -7,7 +7,8 @@
 //! ```
 
 use adaptivefl_bench::{
-    experiment_cfg, paper_models, pct, print_table, syn_cifar10, syn_cifar100, write_json, Args,
+    experiment_cfg, paper_models, pct, print_table, run_kind, syn_cifar10, syn_cifar100,
+    write_json, Args,
 };
 use adaptivefl_core::methods::MethodKind;
 use adaptivefl_core::sim::Simulation;
@@ -40,10 +41,11 @@ fn main() {
             for (part_name, partition) in partitions {
                 for (grained, p) in [("coarse", 1usize), ("fine", 3usize)] {
                     let hard = ds_name != "SynCIFAR-10";
-                    let mut cfg = experiment_cfg(model, args, hard);
+                    let mut cfg = experiment_cfg(model, &args, hard);
                     cfg.p = p;
                     let mut sim = Simulation::prepare(&cfg, &spec, partition);
-                    let r = sim.run(MethodKind::AdaptiveFl);
+                    let slug = format!("table4-{model_name}-{ds_name}-{part_name}-{grained}");
+                    let r = run_kind(&mut sim, MethodKind::AdaptiveFl, &args, &slug);
                     let full = r.best_full_accuracy();
                     println!(
                         "{ds_name} / {model_name} / {part_name} / {grained}: {}%",

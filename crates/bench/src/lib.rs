@@ -5,32 +5,46 @@
 //! paper: it prints the paper-shaped rows to stdout and writes
 //! machine-readable JSON/CSV records under `results/`.
 //!
-//! All binaries accept `--full` for a larger (slower) configuration and
-//! `--seed <n>` to change the master seed; the default fast mode is
-//! calibrated for a single CPU core.
+//! All binaries accept `--full` for a larger (slower) configuration,
+//! `--seed <n>` to change the master seed, and `--resume <dir>` to
+//! checkpoint every run into per-run subdirectories of `<dir>` and
+//! continue interrupted runs from their newest valid snapshot; the
+//! default fast mode is calibrated for a single CPU core.
 
 use std::fs;
 use std::path::PathBuf;
 
-use adaptivefl_core::sim::SimConfig;
+use adaptivefl_core::methods::{FlMethod, MethodKind};
+use adaptivefl_core::metrics::RunResult;
+use adaptivefl_core::sim::{Env, RunHooks, SimConfig, Simulation};
+use adaptivefl_core::transport::PerfectTransport;
 use adaptivefl_data::SynthSpec;
 use adaptivefl_models::ModelConfig;
+use adaptivefl_store::{run_or_resume, SnapshotStore};
 use serde::Serialize;
 
+/// Rounds between checkpoints when `--resume` is active.
+pub const CHECKPOINT_EVERY: usize = 5;
+
 /// Command-line options shared by every experiment binary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Args {
     /// Larger, slower configuration (more rounds/samples).
     pub full: bool,
     /// Master seed.
     pub seed: u64,
+    /// Checkpoint directory: every run checkpoints into its own
+    /// subdirectory and resumes from it after an interruption.
+    pub resume: Option<PathBuf>,
 }
 
 impl Args {
-    /// Parses `--full` and `--seed <n>` from `std::env::args`.
+    /// Parses `--full`, `--seed <n>` and `--resume <dir>` from
+    /// `std::env::args`.
     pub fn parse() -> Self {
         let mut full = false;
         let mut seed = 2024u64;
+        let mut resume = None;
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -41,11 +55,80 @@ impl Args {
                         .and_then(|v| v.parse().ok())
                         .expect("--seed needs an integer");
                 }
+                "--resume" => {
+                    resume = Some(PathBuf::from(
+                        it.next().expect("--resume needs a directory"),
+                    ));
+                }
                 other => eprintln!("ignoring unknown argument {other}"),
             }
         }
-        Args { full, seed }
+        Args { full, seed, resume }
     }
+
+    fn store_for(&self, slug: &str) -> Option<SnapshotStore> {
+        let dir = self.resume.as_ref()?;
+        let sub: String = slug
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        Some(SnapshotStore::open(dir.join(sub)).expect("opening checkpoint store"))
+    }
+}
+
+/// Runs `kind` in `sim` — plain when `--resume` is off; checkpointed
+/// into (and resumed from) the slug's subdirectory of the resume
+/// directory when it is on. `slug` must uniquely identify the run
+/// (bin, model, dataset, partition, method).
+pub fn run_kind(sim: &mut Simulation, kind: MethodKind, args: &Args, slug: &str) -> RunResult {
+    match args.store_for(slug) {
+        None => sim.run(kind),
+        Some(mut store) => run_or_resume(
+            sim,
+            kind,
+            &mut PerfectTransport,
+            &mut store,
+            CHECKPOINT_EVERY,
+        )
+        .expect("checkpointed run"),
+    }
+}
+
+/// [`run_kind`] for explicitly constructed methods (ablation
+/// variants). `make` must build the method exactly as the original run
+/// did — on resume its state is replaced by the snapshot's.
+pub fn run_method(
+    sim: &mut Simulation,
+    make: impl FnOnce(&Env) -> Box<dyn FlMethod>,
+    args: &Args,
+    slug: &str,
+) -> RunResult {
+    let Some(mut store) = args.store_for(slug) else {
+        let method = make(sim.env());
+        return sim.run_method(method);
+    };
+    let method = make(sim.env());
+    let resume_point = store.latest_valid().expect("scanning checkpoint store");
+    let hooks = RunHooks {
+        checkpoint_every: CHECKPOINT_EVERY,
+        sink: &mut store,
+        halt_after: None,
+    };
+    let result = match &resume_point {
+        Some((_, snap)) => sim
+            .resume_method_with_hooks(method, snap, &mut PerfectTransport, hooks)
+            .expect("resumed run"),
+        None => sim
+            .run_method_with_hooks(method, &mut PerfectTransport, hooks)
+            .expect("checkpointed run"),
+    };
+    result.expect("no halt configured, so the run completes")
 }
 
 /// The `results/` directory at the workspace root (created on demand).
@@ -168,7 +251,7 @@ pub fn paper_models(
 /// reduced scale; `--full` raises rounds and data volume. `hard`
 /// doubles the round budget for the many-class tasks (SynCIFAR-100,
 /// SynFEMNIST), which need longer to separate methods.
-pub fn experiment_cfg(model: ModelConfig, args: Args, hard: bool) -> SimConfig {
+pub fn experiment_cfg(model: ModelConfig, args: &Args, hard: bool) -> SimConfig {
     let mut cfg = SimConfig::fast(model, args.seed);
     if args.full {
         cfg.rounds = if hard { 100 } else { 60 };
@@ -201,17 +284,19 @@ mod tests {
         let [(_, m), _] = paper_models(spec.classes, spec.input);
         let fast = experiment_cfg(
             m,
-            Args {
+            &Args {
                 full: false,
                 seed: 1,
+                resume: None,
             },
             false,
         );
         let full = experiment_cfg(
             m,
-            Args {
+            &Args {
                 full: true,
                 seed: 1,
+                resume: None,
             },
             true,
         );

@@ -85,7 +85,11 @@ fn put_header(buf: &mut BytesMut, msg: u8) {
     buf.put_u8(msg);
 }
 
-fn put_param_map(buf: &mut BytesMut, map: &ParamMap) {
+/// Encodes a [`ParamMap`] into `buf` in the dense wire layout: entry
+/// count, then per entry `name_len u16 | name | ndim u8 | dims u32… |
+/// f32 bit patterns`. Exposed so other crates (e.g. the snapshot
+/// store) can reuse the exact lossless layout.
+pub fn encode_param_map(buf: &mut BytesMut, map: &ParamMap) {
     buf.put_u32(map.len() as u32);
     for (name, t) in map.iter() {
         buf.put_u16(name.len() as u16);
@@ -122,7 +126,9 @@ fn read_header(r: &mut FrameReader<'_>, want_msg: u8) -> Result<(), CoreError> {
     Ok(())
 }
 
-fn read_param_map(r: &mut FrameReader<'_>) -> Result<ParamMap, CoreError> {
+/// Decodes a [`ParamMap`] written by [`encode_param_map`], with
+/// bounded allocation and duplicate-name rejection.
+pub fn decode_param_map(r: &mut FrameReader<'_>) -> Result<ParamMap, CoreError> {
     let count = r.u32()? as usize;
     let mut map = ParamMap::new();
     for _ in 0..count {
@@ -165,7 +171,7 @@ pub fn encode_model_down(msg: &ModelDown) -> Bytes {
     buf.put_u32(msg.round);
     buf.put_u32(msg.config.pool_index);
     buf.put_u64(msg.config.deadline_ms);
-    put_param_map(&mut buf, &msg.params);
+    encode_param_map(&mut buf, &msg.params);
     buf.freeze()
 }
 
@@ -176,7 +182,7 @@ pub fn decode_model_down(frame: &[u8]) -> Result<ModelDown, CoreError> {
     let round = r.u32()?;
     let pool_index = r.u32()?;
     let deadline_ms = r.u64()?;
-    let params = read_param_map(&mut r)?;
+    let params = decode_param_map(&mut r)?;
     if !r.is_empty() {
         return Err(CoreError::MalformedFrame(
             "trailing bytes after frame".into(),
@@ -202,7 +208,7 @@ pub fn encode_update_up(msg: &UpdateUp, codec: WireCodec) -> Bytes {
     match codec {
         WireCodec::Dense => {
             buf.put_u8(CODEC_DENSE);
-            put_param_map(&mut buf, &msg.params);
+            encode_param_map(&mut buf, &msg.params);
         }
         WireCodec::Quantized => {
             buf.put_u8(CODEC_QUANTIZED);
@@ -224,7 +230,7 @@ pub fn decode_update_up(frame: &[u8]) -> Result<UpdateUp, CoreError> {
     let data_size = r.u32()?;
     let codec = r.u8()?;
     let params = match codec {
-        CODEC_DENSE => read_param_map(&mut r)?,
+        CODEC_DENSE => decode_param_map(&mut r)?,
         CODEC_QUANTIZED => {
             let len = r.u32()? as usize;
             let inner = r.bytes(len)?;

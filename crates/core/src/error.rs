@@ -9,6 +9,9 @@ pub enum CoreError {
     MissingParameter(String),
     /// A binary frame could not be decoded (truncated or corrupt).
     MalformedFrame(String),
+    /// A checkpoint snapshot could not be written, read or applied
+    /// (I/O failure, corruption, or an incompatible environment).
+    Snapshot(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -17,6 +20,7 @@ impl std::fmt::Display for CoreError {
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             CoreError::MissingParameter(name) => write!(f, "missing parameter {name}"),
             CoreError::MalformedFrame(msg) => write!(f, "malformed frame: {msg}"),
+            CoreError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
         }
     }
 }

@@ -26,6 +26,12 @@
 //!   method routes through: [`PerfectTransport`](transport::PerfectTransport)
 //!   is the lossless default; the `adaptivefl-comm` crate provides a
 //!   faulty, deadline-enforcing, parallel `SimTransport`.
+//! * [`checkpoint`] — crash-safe state capture: the
+//!   [`Checkpointable`](checkpoint::Checkpointable) trait every method
+//!   implements, [`ServerSnapshot`](checkpoint::ServerSnapshot) frozen
+//!   runs, and the [`SnapshotSink`](checkpoint::SnapshotSink) hook the
+//!   `adaptivefl-store` crate plugs durable storage into; resumed runs
+//!   are bit-identical to uninterrupted ones.
 //!
 //! # Example
 //!
@@ -45,6 +51,7 @@
 //! ```
 
 pub mod aggregate;
+pub mod checkpoint;
 pub mod compress;
 pub mod error;
 pub mod methods;
@@ -57,6 +64,7 @@ pub mod sim;
 pub mod trainer;
 pub mod transport;
 
+pub use checkpoint::{Checkpointable, MemorySink, MethodState, ServerSnapshot, SnapshotSink};
 pub use error::CoreError;
 pub use pool::{Level, ModelPool, PoolEntry};
 pub use transport::{CommStats, PerfectTransport, Transport};

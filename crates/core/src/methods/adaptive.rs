@@ -7,6 +7,8 @@ use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::aggregate::{aggregate, Upload};
+use crate::checkpoint::{Checkpointable, MethodState};
+use crate::error::CoreError;
 use crate::methods::FlMethod;
 use crate::metrics::{EvalRecord, RoundRecord};
 use crate::prune::extract_submodel;
@@ -53,6 +55,32 @@ impl AdaptiveFl {
     /// Read access to the global model.
     pub fn global(&self) -> &ParamMap {
         &self.global
+    }
+}
+
+impl Checkpointable for AdaptiveFl {
+    fn capture(&self) -> MethodState {
+        let mut state = MethodState::single(self.global.clone());
+        state.rl = Some(self.rl.clone());
+        state
+    }
+
+    fn restore(&mut self, state: MethodState) -> Result<(), CoreError> {
+        let Some(rl) = state.rl.clone() else {
+            return Err(CoreError::Snapshot(
+                "AdaptiveFL snapshot lacks RL tables".into(),
+            ));
+        };
+        if rl.num_clients() != self.rl.num_clients() {
+            return Err(CoreError::Snapshot(format!(
+                "RL tables track {} clients, environment has {}",
+                rl.num_clients(),
+                self.rl.num_clients()
+            )));
+        }
+        self.global = state.into_single()?;
+        self.rl = rl;
+        Ok(())
     }
 }
 

@@ -8,6 +8,8 @@ use adaptivefl_nn::ParamMap;
 use rand_chacha::ChaCha8Rng;
 
 use crate::aggregate::{aggregate, Upload};
+use crate::checkpoint::{Checkpointable, MethodState};
+use crate::error::CoreError;
 use crate::methods::{sample_clients, FlMethod};
 use crate::metrics::{EvalRecord, RoundRecord};
 use crate::sim::Env;
@@ -28,6 +30,17 @@ impl AllLarge {
         AllLarge {
             global: env.fresh_global(),
         }
+    }
+}
+
+impl Checkpointable for AllLarge {
+    fn capture(&self) -> MethodState {
+        MethodState::single(self.global.clone())
+    }
+
+    fn restore(&mut self, state: MethodState) -> Result<(), CoreError> {
+        self.global = state.into_single()?;
+        Ok(())
     }
 }
 

@@ -8,6 +8,8 @@ use adaptivefl_nn::ParamMap;
 use rand_chacha::ChaCha8Rng;
 
 use crate::aggregate::{aggregate, Upload};
+use crate::checkpoint::{Checkpointable, MethodState};
+use crate::error::CoreError;
 use crate::methods::{sample_clients, FlMethod};
 use crate::metrics::{EvalRecord, RoundRecord};
 use crate::sim::Env;
@@ -35,6 +37,40 @@ impl Decoupled {
             })
             .collect();
         Decoupled { levels }
+    }
+}
+
+impl Checkpointable for Decoupled {
+    fn capture(&self) -> MethodState {
+        MethodState {
+            params: self
+                .levels
+                .iter()
+                .map(|(name, _, _, global)| (name.clone(), global.clone()))
+                .collect(),
+            rl: None,
+            extra: Vec::new(),
+        }
+    }
+
+    fn restore(&mut self, state: MethodState) -> Result<(), CoreError> {
+        if state.params.len() != self.levels.len() {
+            return Err(CoreError::Snapshot(format!(
+                "Decoupled snapshot has {} level models, environment builds {}",
+                state.params.len(),
+                self.levels.len()
+            )));
+        }
+        for ((name, global), level) in state.params.into_iter().zip(self.levels.iter_mut()) {
+            if name != level.0 {
+                return Err(CoreError::Snapshot(format!(
+                    "Decoupled level mismatch: snapshot {name}, environment {}",
+                    level.0
+                )));
+            }
+            level.3 = global;
+        }
+        Ok(())
     }
 }
 

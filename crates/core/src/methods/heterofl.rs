@@ -16,6 +16,8 @@ use adaptivefl_nn::ParamMap;
 use rand_chacha::ChaCha8Rng;
 
 use crate::aggregate::{aggregate, Upload};
+use crate::checkpoint::{Checkpointable, MethodState};
+use crate::error::CoreError;
 use crate::methods::{sample_clients, FlMethod};
 use crate::metrics::{EvalRecord, RoundRecord};
 use crate::prune::extract_submodel;
@@ -63,6 +65,17 @@ impl HeteroFl {
             DeviceClass::Medium => 1,
             DeviceClass::Strong => 2,
         }
+    }
+}
+
+impl Checkpointable for HeteroFl {
+    fn capture(&self) -> MethodState {
+        MethodState::single(self.global.clone())
+    }
+
+    fn restore(&mut self, state: MethodState) -> Result<(), CoreError> {
+        self.global = state.into_single()?;
+        Ok(())
     }
 }
 

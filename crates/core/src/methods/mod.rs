@@ -19,6 +19,7 @@ use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::Checkpointable;
 use crate::metrics::{EvalRecord, RoundRecord};
 use crate::select::SelectionStrategy;
 use crate::sim::Env;
@@ -26,7 +27,13 @@ use crate::transport::Transport;
 
 /// A federated-learning method: owns its global model state and plays
 /// one round at a time against the shared environment.
-pub trait FlMethod: Send {
+///
+/// Every method is [`Checkpointable`]: its full server-side state can
+/// be frozen into a
+/// [`MethodState`](crate::checkpoint::MethodState) and restored later,
+/// which is what makes mid-run snapshots and bit-identical resumes
+/// possible (see [`Simulation::resume_from`](crate::sim::Simulation)).
+pub trait FlMethod: Send + Checkpointable {
     /// Display name used in tables and result files.
     fn name(&self) -> String;
 

@@ -16,6 +16,8 @@ use adaptivefl_nn::{ParamKind, ParamMap};
 use rand_chacha::ChaCha8Rng;
 
 use crate::aggregate::{aggregate, Upload};
+use crate::checkpoint::{Checkpointable, MethodState};
+use crate::error::CoreError;
 use crate::methods::{sample_clients, FlMethod};
 use crate::metrics::{EvalRecord, RoundRecord};
 use crate::prune::extract_by_shapes;
@@ -97,6 +99,17 @@ impl ScaleFl {
             DeviceClass::Medium => 1,
             DeviceClass::Strong => 2,
         }
+    }
+}
+
+impl Checkpointable for ScaleFl {
+    fn capture(&self) -> MethodState {
+        MethodState::single(self.global.clone())
+    }
+
+    fn restore(&mut self, state: MethodState) -> Result<(), CoreError> {
+        self.global = state.into_single()?;
+        Ok(())
     }
 }
 

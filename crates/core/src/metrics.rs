@@ -1,8 +1,11 @@
 //! Experiment metrics: per-round communication accounting, accuracy
 //! history, communication-waste rate and simulated wall-clock time.
 
+use bytes::{BufMut, BytesMut};
 use serde::{Deserialize, Serialize};
 
+use crate::compress::FrameReader;
+use crate::error::CoreError;
 use crate::transport::CommStats;
 
 /// One round's bookkeeping.
@@ -30,6 +33,37 @@ pub struct RoundRecord {
     pub comm: CommStats,
 }
 
+impl RoundRecord {
+    /// Appends the record to a binary frame (big-endian, floats as raw
+    /// bits) — the stable snapshot encoding. Lossless, so histories
+    /// decoded from snapshots reproduce
+    /// [`RunResult::comm_waste_rate`] and every other derived metric
+    /// exactly.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64(self.round as u64);
+        buf.put_u64(self.sent_params);
+        buf.put_u64(self.returned_params);
+        buf.put_u32(self.train_loss.to_bits());
+        buf.put_u64(self.sim_secs.to_bits());
+        buf.put_u64(self.failures as u64);
+        self.comm.encode(buf);
+    }
+
+    /// Parses a record encoded by [`RoundRecord::encode`]. Truncated
+    /// frames return [`CoreError::MalformedFrame`], never panic.
+    pub fn decode(r: &mut FrameReader<'_>) -> Result<Self, CoreError> {
+        Ok(RoundRecord {
+            round: r.u64()? as usize,
+            sent_params: r.u64()?,
+            returned_params: r.u64()?,
+            train_loss: f32::from_bits(r.u32()?),
+            sim_secs: f64::from_bits(r.u64()?),
+            failures: r.u64()? as usize,
+            comm: CommStats::decode(r)?,
+        })
+    }
+}
+
 /// One evaluation snapshot.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EvalRecord {
@@ -43,6 +77,44 @@ pub struct EvalRecord {
 }
 
 impl EvalRecord {
+    /// Appends the record to a binary frame — the stable snapshot
+    /// encoding (see [`RoundRecord::encode`]).
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64(self.round as u64);
+        buf.put_u32(self.full.to_bits());
+        buf.put_u32(self.levels.len() as u32);
+        for (name, acc) in &self.levels {
+            buf.put_u16(name.len() as u16);
+            buf.put_slice(name.as_bytes());
+            buf.put_u32(acc.to_bits());
+        }
+    }
+
+    /// Parses a record encoded by [`EvalRecord::encode`]. Truncated or
+    /// corrupt frames return [`CoreError::MalformedFrame`].
+    pub fn decode(r: &mut FrameReader<'_>) -> Result<Self, CoreError> {
+        let round = r.u64()? as usize;
+        let full = f32::from_bits(r.u32()?);
+        let n = r.u32()? as usize;
+        if r.remaining() < n * 6 {
+            return Err(CoreError::MalformedFrame(format!(
+                "eval record: {n} levels exceed remaining frame"
+            )));
+        }
+        let mut levels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name_len = r.u16()? as usize;
+            let name = String::from_utf8(r.bytes(name_len)?.to_vec())
+                .map_err(|_| CoreError::MalformedFrame("non-utf8 level name".into()))?;
+            levels.push((name, f32::from_bits(r.u32()?)));
+        }
+        Ok(EvalRecord {
+            round,
+            full,
+            levels,
+        })
+    }
+
     /// Mean of the per-level accuracies (the paper's "avg" column);
     /// falls back to the full accuracy when no submodels exist
     /// (All-Large).
@@ -67,6 +139,23 @@ pub struct RunResult {
 }
 
 impl RunResult {
+    /// Reassembles a result from a decoded history (e.g. a snapshot's
+    /// round/eval records) so every derived metric —
+    /// [`comm_waste_rate`](RunResult::comm_waste_rate), accuracy
+    /// curves, totals — works on persisted runs exactly as on
+    /// in-process ones.
+    pub fn from_history(
+        method: impl Into<String>,
+        rounds: Vec<RoundRecord>,
+        evals: Vec<EvalRecord>,
+    ) -> Self {
+        RunResult {
+            method: method.into(),
+            rounds,
+            evals,
+        }
+    }
+
     /// Final global-model accuracy (0 when never evaluated).
     pub fn final_full_accuracy(&self) -> f32 {
         self.evals.last().map_or(0.0, |e| e.full)
@@ -247,6 +336,50 @@ mod tests {
         assert_eq!(tc.len(), 2);
         assert!((tc[0].0 - 2.0).abs() < 1e-9);
         assert!((tc[1].0 - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_and_eval_records_roundtrip_and_preserve_waste_rate() {
+        let r = result();
+        let mut buf = BytesMut::new();
+        for rec in &r.rounds {
+            rec.encode(&mut buf);
+        }
+        for e in &r.evals {
+            e.encode(&mut buf);
+        }
+        let mut reader = FrameReader::new(&buf);
+        let rounds: Vec<RoundRecord> = (0..r.rounds.len())
+            .map(|_| RoundRecord::decode(&mut reader).expect("intact round"))
+            .collect();
+        let evals: Vec<EvalRecord> = (0..r.evals.len())
+            .map(|_| EvalRecord::decode(&mut reader).expect("intact eval"))
+            .collect();
+        assert!(reader.is_empty());
+        let back = RunResult::from_history(r.method.clone(), rounds, evals);
+        assert_eq!(back, r);
+        assert_eq!(back.comm_waste_rate(), r.comm_waste_rate());
+    }
+
+    #[test]
+    fn record_decode_rejects_truncation() {
+        let r = result();
+        let mut buf = BytesMut::new();
+        r.rounds[0].encode(&mut buf);
+        for cut in [0, 7, buf.len() / 2, buf.len() - 1] {
+            assert!(
+                RoundRecord::decode(&mut FrameReader::new(&buf[..cut])).is_err(),
+                "prefix {cut} decoded"
+            );
+        }
+        let mut ebuf = BytesMut::new();
+        r.evals[0].encode(&mut ebuf);
+        for cut in [0, 5, ebuf.len() - 1] {
+            assert!(
+                EvalRecord::decode(&mut FrameReader::new(&ebuf[..cut])).is_err(),
+                "eval prefix {cut} decoded"
+            );
+        }
     }
 
     #[test]

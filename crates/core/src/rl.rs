@@ -2,8 +2,11 @@
 //! the reward functions, and the table updates of Algorithm 1
 //! (lines 12–26).
 
+use bytes::{BufMut, BytesMut};
 use serde::{Deserialize, Serialize};
 
+use crate::compress::FrameReader;
+use crate::error::CoreError;
 use crate::pool::{Level, ModelPool};
 
 /// Curiosity table `T_c[type][client]` and resource table
@@ -92,6 +95,72 @@ impl RlState {
         let level = pool.entry(pool_index).level;
         let rs = self.resource_reward(pool, pool_index, client);
         rs.min(self.reward_cap) * self.curiosity_reward(level, client)
+    }
+
+    /// Appends the tables to a binary frame (big-endian, `f64` as raw
+    /// bits) — the stable snapshot encoding.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32(self.p as u32);
+        buf.put_u64(self.reward_cap.to_bits());
+        for table in [&self.t_c, &self.t_r] {
+            buf.put_u32(table.len() as u32);
+            buf.put_u32(table.first().map_or(0, Vec::len) as u32);
+            for row in table {
+                for &v in row {
+                    buf.put_u64(v.to_bits());
+                }
+            }
+        }
+    }
+
+    /// Parses tables encoded by [`RlState::encode`]. Never panics:
+    /// truncated or structurally inconsistent frames return
+    /// [`CoreError::MalformedFrame`].
+    pub fn decode(r: &mut FrameReader<'_>) -> Result<Self, CoreError> {
+        let p = r.u32()? as usize;
+        let reward_cap = f64::from_bits(r.u64()?);
+        if p == 0 || !(reward_cap > 0.0 && reward_cap <= 1.0) {
+            return Err(CoreError::MalformedFrame(format!(
+                "rl tables: invalid p={p} or cap={reward_cap}"
+            )));
+        }
+        let mut tables = Vec::with_capacity(2);
+        for (label, want_rows) in [("t_c", 3), ("t_r", 2 * p + 1)] {
+            let rows = r.u32()? as usize;
+            let cols = r.u32()? as usize;
+            if rows != want_rows || cols == 0 {
+                return Err(CoreError::MalformedFrame(format!(
+                    "rl tables: {label} is {rows}×{cols}, want {want_rows} rows"
+                )));
+            }
+            if r.remaining() < rows * cols * 8 {
+                return Err(CoreError::MalformedFrame(format!(
+                    "rl tables: {label} exceeds remaining frame"
+                )));
+            }
+            let mut table = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                let mut row = Vec::with_capacity(cols);
+                for _ in 0..cols {
+                    row.push(f64::from_bits(r.u64()?));
+                }
+                table.push(row);
+            }
+            tables.push(table);
+        }
+        let t_r = tables.pop().expect("two tables pushed");
+        let t_c = tables.pop().expect("two tables pushed");
+        if t_c[0].len() != t_r[0].len() {
+            return Err(CoreError::MalformedFrame(
+                "rl tables: client dimensions disagree".into(),
+            ));
+        }
+        Ok(RlState {
+            t_c,
+            t_r,
+            p,
+            reward_cap,
+        })
     }
 
     /// Dispatch-time update (Algorithm 1, line 12): bump the curiosity
@@ -240,6 +309,34 @@ mod tests {
         rl.update_on_return(&p, 0, None, 0);
         for t in 0..p.len() {
             assert_eq!(rl.score(t, 0), 0.0);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_trained_tables() {
+        let p = pool();
+        let mut rl = RlState::new(p.p(), 4).with_reward_cap(0.7);
+        rl.update_on_dispatch(Level::Medium, 1);
+        rl.update_on_return(&p, 6, Some(2), 1);
+        rl.update_on_return(&p, 0, None, 3);
+        let mut buf = bytes::BytesMut::new();
+        rl.encode(&mut buf);
+        let mut r = FrameReader::new(&buf);
+        let back = RlState::decode(&mut r).expect("intact frame");
+        assert!(r.is_empty());
+        assert_eq!(rl, back);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let rl = RlState::new(2, 3);
+        let mut buf = bytes::BytesMut::new();
+        rl.encode(&mut buf);
+        for cut in [0, 4, 11, buf.len() / 2, buf.len() - 1] {
+            assert!(
+                RlState::decode(&mut FrameReader::new(&buf[..cut])).is_err(),
+                "prefix {cut} decoded"
+            );
         }
     }
 

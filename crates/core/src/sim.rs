@@ -8,8 +8,10 @@ use adaptivefl_nn::ParamMap;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::methods::MethodKind;
-use crate::metrics::RunResult;
+use crate::checkpoint::{ServerSnapshot, SnapshotSink};
+use crate::error::CoreError;
+use crate::methods::{FlMethod, MethodKind};
+use crate::metrics::{EvalRecord, RoundRecord, RunResult};
 use crate::pool::{ModelPool, DEFAULT_RATIOS};
 use crate::trainer::LocalTrainer;
 use crate::transport::{PerfectTransport, Transport};
@@ -147,6 +149,22 @@ impl Env {
     }
 }
 
+/// Checkpoint hooks for a run (see [`Simulation::run_with_hooks`]).
+pub struct RunHooks<'a> {
+    /// Snapshot every this many completed rounds (0 = only when
+    /// halting). Snapshots are skipped after the final round — a
+    /// finished run has nothing left to resume.
+    pub checkpoint_every: usize,
+    /// Where snapshots go (e.g. the durable `adaptivefl-store`
+    /// `SnapshotStore`, or a [`MemorySink`](crate::checkpoint::MemorySink)).
+    pub sink: &'a mut dyn SnapshotSink,
+    /// Crash-test harness: stop after this many completed rounds,
+    /// saving a final snapshot and returning `Ok(None)` instead of a
+    /// result — the in-process equivalent of killing the server
+    /// mid-run.
+    pub halt_after: Option<usize>,
+}
+
 /// One prepared experiment: an [`Env`] ready to run any method.
 pub struct Simulation {
     env: Env,
@@ -245,25 +263,305 @@ impl Simulation {
     /// transport.
     pub fn run_method_with_transport(
         &mut self,
-        mut method: Box<dyn crate::methods::FlMethod>,
+        method: Box<dyn crate::methods::FlMethod>,
         transport: &mut dyn Transport,
     ) -> RunResult {
-        let mut rng =
-            adaptivefl_tensor::rng::derived(self.env.cfg.seed, &format!("run-{}", method.name()));
-        let mut rounds = Vec::with_capacity(self.env.cfg.rounds);
-        let mut evals = Vec::new();
-        for t in 0..self.env.cfg.rounds {
+        let rng = self.run_rng(&*method);
+        self.drive(
+            None,
+            method,
+            transport,
+            rng,
+            0,
+            Vec::new(),
+            Vec::new(),
+            None,
+        )
+        .expect("no sink configured, so no sink error is possible")
+        .expect("no halt configured, so the run completes")
+    }
+
+    /// Runs a method with checkpoint/halt hooks: every
+    /// `hooks.checkpoint_every` completed rounds the full server state
+    /// is frozen into a [`ServerSnapshot`] and handed to the sink.
+    /// Returns `Ok(None)` when `hooks.halt_after` stopped the run
+    /// early (after saving a snapshot).
+    pub fn run_with_hooks(
+        &mut self,
+        kind: MethodKind,
+        transport: &mut dyn Transport,
+        hooks: RunHooks<'_>,
+    ) -> Result<Option<RunResult>, CoreError> {
+        let method = kind.instantiate(&self.env);
+        let rng = self.run_rng(&*method);
+        self.drive(
+            Some(kind),
+            method,
+            transport,
+            rng,
+            0,
+            Vec::new(),
+            Vec::new(),
+            Some(hooks),
+        )
+    }
+
+    /// Runs an explicitly constructed method with checkpoint/halt
+    /// hooks (the `run_method` counterpart of
+    /// [`Simulation::run_with_hooks`]). Snapshots carry no
+    /// [`MethodKind`], so they resume through
+    /// [`Simulation::resume_method_with_transport`] /
+    /// [`Simulation::resume_method_with_hooks`].
+    pub fn run_method_with_hooks(
+        &mut self,
+        method: Box<dyn crate::methods::FlMethod>,
+        transport: &mut dyn Transport,
+        hooks: RunHooks<'_>,
+    ) -> Result<Option<RunResult>, CoreError> {
+        let rng = self.run_rng(&*method);
+        self.drive(
+            None,
+            method,
+            transport,
+            rng,
+            0,
+            Vec::new(),
+            Vec::new(),
+            Some(hooks),
+        )
+    }
+
+    /// Runs a method, checkpointing every `every` rounds into `sink`.
+    pub fn run_with_checkpoints(
+        &mut self,
+        kind: MethodKind,
+        transport: &mut dyn Transport,
+        every: usize,
+        sink: &mut dyn SnapshotSink,
+    ) -> Result<RunResult, CoreError> {
+        let hooks = RunHooks {
+            checkpoint_every: every,
+            sink,
+            halt_after: None,
+        };
+        Ok(self
+            .run_with_hooks(kind, transport, hooks)?
+            .expect("no halt configured, so the run completes"))
+    }
+
+    /// Resumes a snapshotted run over the default
+    /// [`PerfectTransport`]. The continued run is bit-identical to the
+    /// uninterrupted one: same RNG stream, same server state, same
+    /// history.
+    pub fn resume_from(&mut self, snap: &ServerSnapshot) -> Result<RunResult, CoreError> {
+        self.resume_with_transport(snap, &mut PerfectTransport)
+    }
+
+    /// Resumes a snapshotted run over an explicit transport. The
+    /// transport must be configured identically to the original run's
+    /// (fault plans and deadlines are derived from the seed and round
+    /// index, so a freshly built transport with the same settings
+    /// replays identically at any thread count).
+    pub fn resume_with_transport(
+        &mut self,
+        snap: &ServerSnapshot,
+        transport: &mut dyn Transport,
+    ) -> Result<RunResult, CoreError> {
+        let Some(kind) = snap.kind else {
+            return Err(CoreError::Snapshot(
+                "snapshot has no method kind; resume the explicit method via \
+                 resume_method_with_transport"
+                    .into(),
+            ));
+        };
+        let method = kind.instantiate(&self.env);
+        Ok(self
+            .resume_inner(Some(kind), method, snap, transport, None)?
+            .expect("no halt configured, so the run completes"))
+    }
+
+    /// Resumes a snapshotted run with fresh checkpoint/halt hooks (so
+    /// a resumed long run keeps checkpointing).
+    pub fn resume_with_hooks(
+        &mut self,
+        snap: &ServerSnapshot,
+        transport: &mut dyn Transport,
+        hooks: RunHooks<'_>,
+    ) -> Result<Option<RunResult>, CoreError> {
+        let Some(kind) = snap.kind else {
+            return Err(CoreError::Snapshot(
+                "snapshot has no method kind; resume the explicit method via \
+                 resume_method_with_transport"
+                    .into(),
+            ));
+        };
+        let method = kind.instantiate(&self.env);
+        self.resume_inner(Some(kind), method, snap, transport, Some(hooks))
+    }
+
+    /// Resumes a snapshot into an explicitly constructed method (e.g.
+    /// an AdaptiveFL instance with a non-default reward cap). The
+    /// method must be constructed exactly as the original was; its
+    /// state is then replaced by the snapshot's.
+    pub fn resume_method_with_transport(
+        &mut self,
+        method: Box<dyn crate::methods::FlMethod>,
+        snap: &ServerSnapshot,
+        transport: &mut dyn Transport,
+    ) -> Result<RunResult, CoreError> {
+        Ok(self
+            .resume_inner(snap.kind, method, snap, transport, None)?
+            .expect("no halt configured, so the run completes"))
+    }
+
+    /// Resumes an explicitly constructed method with fresh
+    /// checkpoint/halt hooks.
+    pub fn resume_method_with_hooks(
+        &mut self,
+        method: Box<dyn crate::methods::FlMethod>,
+        snap: &ServerSnapshot,
+        transport: &mut dyn Transport,
+        hooks: RunHooks<'_>,
+    ) -> Result<Option<RunResult>, CoreError> {
+        self.resume_inner(snap.kind, method, snap, transport, Some(hooks))
+    }
+
+    /// The deterministic environment fingerprint stored in snapshots
+    /// and checked on resume.
+    pub fn cfg_fingerprint(cfg: &SimConfig) -> String {
+        format!("{cfg:?}")
+    }
+
+    fn run_rng(&self, method: &dyn FlMethod) -> ChaCha8Rng {
+        adaptivefl_tensor::rng::derived(self.env.cfg.seed, &format!("run-{}", method.name()))
+    }
+
+    fn resume_inner(
+        &mut self,
+        kind: Option<MethodKind>,
+        mut method: Box<dyn crate::methods::FlMethod>,
+        snap: &ServerSnapshot,
+        transport: &mut dyn Transport,
+        hooks: Option<RunHooks<'_>>,
+    ) -> Result<Option<RunResult>, CoreError> {
+        self.validate_snapshot(snap, &*method)?;
+        method.restore(snap.method.clone())?;
+        let rng = snap.rng()?;
+        self.drive(
+            kind,
+            method,
+            transport,
+            rng,
+            snap.completed_rounds,
+            snap.rounds.clone(),
+            snap.evals.clone(),
+            hooks,
+        )
+    }
+
+    fn validate_snapshot(
+        &self,
+        snap: &ServerSnapshot,
+        method: &dyn crate::methods::FlMethod,
+    ) -> Result<(), CoreError> {
+        if snap.method_name != method.name() {
+            return Err(CoreError::Snapshot(format!(
+                "snapshot is of method {}, resuming {}",
+                snap.method_name,
+                method.name()
+            )));
+        }
+        let fp = Self::cfg_fingerprint(&self.env.cfg);
+        if snap.cfg_fingerprint != fp {
+            return Err(CoreError::Snapshot(format!(
+                "configuration mismatch: snapshot built for {}, environment is {fp}",
+                snap.cfg_fingerprint
+            )));
+        }
+        let pool_params: Vec<u64> = self.env.pool.entries().iter().map(|e| e.params).collect();
+        if snap.pool_p != self.env.pool.p() || snap.pool_params != pool_params {
+            return Err(CoreError::Snapshot(
+                "model pool mismatch: the environment splits the model differently".into(),
+            ));
+        }
+        if snap.completed_rounds > self.env.cfg.rounds {
+            return Err(CoreError::Snapshot(format!(
+                "snapshot has {} completed rounds, configuration runs {}",
+                snap.completed_rounds, self.env.cfg.rounds
+            )));
+        }
+        if snap.rounds.len() != snap.completed_rounds {
+            return Err(CoreError::Snapshot(format!(
+                "snapshot history has {} round records for {} completed rounds",
+                snap.rounds.len(),
+                snap.completed_rounds
+            )));
+        }
+        Ok(())
+    }
+
+    fn snapshot(
+        &self,
+        kind: Option<MethodKind>,
+        method: &dyn crate::methods::FlMethod,
+        rng: &ChaCha8Rng,
+        completed_rounds: usize,
+        rounds: &[RoundRecord],
+        evals: &[EvalRecord],
+    ) -> ServerSnapshot {
+        ServerSnapshot {
+            kind,
+            method_name: method.name(),
+            completed_rounds,
+            rng_words: rng.state_words().to_vec(),
+            method: method.capture(),
+            rounds: rounds.to_vec(),
+            evals: evals.to_vec(),
+            cfg_fingerprint: Self::cfg_fingerprint(&self.env.cfg),
+            pool_p: self.env.pool.p(),
+            pool_params: self.env.pool.entries().iter().map(|e| e.params).collect(),
+        }
+    }
+
+    /// The shared round loop: every `run_*`/`resume_*` entry point
+    /// funnels through here so the round/eval/checkpoint cadence is
+    /// identical whether a run starts fresh or from a snapshot.
+    #[allow(clippy::too_many_arguments)]
+    fn drive(
+        &mut self,
+        kind: Option<MethodKind>,
+        mut method: Box<dyn crate::methods::FlMethod>,
+        transport: &mut dyn Transport,
+        mut rng: ChaCha8Rng,
+        start_round: usize,
+        mut rounds: Vec<RoundRecord>,
+        mut evals: Vec<EvalRecord>,
+        mut hooks: Option<RunHooks<'_>>,
+    ) -> Result<Option<RunResult>, CoreError> {
+        for t in start_round..self.env.cfg.rounds {
             rounds.push(method.round(&self.env, t, transport, &mut rng));
             let last = t + 1 == self.env.cfg.rounds;
             if last || (t + 1) % self.env.cfg.eval_every.max(1) == 0 {
                 evals.push(method.evaluate(&self.env, t));
             }
+            if let Some(h) = hooks.as_mut() {
+                let done = t + 1;
+                let halt = h.halt_after.is_some_and(|r| done >= r) && !last;
+                let periodic = h.checkpoint_every > 0 && done % h.checkpoint_every == 0 && !last;
+                if halt || periodic {
+                    let snap = self.snapshot(kind, &*method, &rng, done, &rounds, &evals);
+                    h.sink.save(&snap)?;
+                }
+                if halt {
+                    return Ok(None);
+                }
+            }
         }
-        RunResult {
+        Ok(Some(RunResult {
             method: method.name(),
             rounds,
             evals,
-        }
+        }))
     }
 }
 
@@ -331,6 +629,106 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_run() {
+        let cfg = SimConfig::quick_test(104);
+        for kind in [
+            MethodKind::AdaptiveFl,
+            MethodKind::AdaptiveFlGreedy,
+            MethodKind::AdaptiveFlVariant(SelectionStrategy::Random),
+            MethodKind::AllLarge,
+            MethodKind::Decoupled,
+            MethodKind::HeteroFl,
+            MethodKind::ScaleFl,
+        ] {
+            let mut sim = Simulation::prepare(&cfg, &spec(), Partition::Dirichlet(0.5));
+            let control = sim.run(kind);
+
+            // Checkpoint every round of a second, identical run.
+            let mut sink = crate::checkpoint::MemorySink::new();
+            let mut sim2 = Simulation::prepare(&cfg, &spec(), Partition::Dirichlet(0.5));
+            let checked = sim2
+                .run_with_checkpoints(kind, &mut PerfectTransport, 1, &mut sink)
+                .unwrap();
+            assert_eq!(control, checked, "{kind}: checkpointing changed the run");
+            // Final round never snapshots; every earlier round does.
+            assert_eq!(sink.snapshots.len(), cfg.rounds - 1, "{kind}");
+
+            // Resume from every intermediate snapshot in a fresh
+            // simulation; each must reproduce the control exactly.
+            for snap in &sink.snapshots {
+                let mut sim3 = Simulation::prepare(&cfg, &spec(), Partition::Dirichlet(0.5));
+                let resumed = sim3.resume_from(snap).unwrap();
+                assert_eq!(
+                    control, resumed,
+                    "{kind}: resume from round {} diverged",
+                    snap.completed_rounds
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn halt_after_saves_a_resumable_snapshot() {
+        let cfg = SimConfig::quick_test(105);
+        let mut sim = Simulation::prepare(&cfg, &spec(), Partition::Iid);
+        let control = sim.run(MethodKind::AdaptiveFl);
+
+        let mut sink = crate::checkpoint::MemorySink::new();
+        let mut sim2 = Simulation::prepare(&cfg, &spec(), Partition::Iid);
+        let halted = sim2
+            .run_with_hooks(
+                MethodKind::AdaptiveFl,
+                &mut PerfectTransport,
+                RunHooks {
+                    checkpoint_every: 0,
+                    sink: &mut sink,
+                    halt_after: Some(2),
+                },
+            )
+            .unwrap();
+        assert!(halted.is_none(), "halt must abort the run");
+        let snap = sink.latest().expect("halt saved a snapshot");
+        assert_eq!(snap.completed_rounds, 2);
+
+        let mut sim3 = Simulation::prepare(&cfg, &spec(), Partition::Iid);
+        let resumed = sim3.resume_from(snap).unwrap();
+        assert_eq!(control, resumed);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_environment() {
+        let cfg = SimConfig::quick_test(106);
+        let mut sink = crate::checkpoint::MemorySink::new();
+        let mut sim = Simulation::prepare(&cfg, &spec(), Partition::Iid);
+        sim.run_with_checkpoints(MethodKind::AdaptiveFl, &mut PerfectTransport, 2, &mut sink)
+            .unwrap();
+        let snap = sink.latest().unwrap();
+
+        // Wrong method.
+        let mut sim2 = Simulation::prepare(&cfg, &spec(), Partition::Iid);
+        let mut wrong = snap.clone();
+        wrong.kind = Some(MethodKind::HeteroFl);
+        assert!(sim2.resume_from(&wrong).is_err());
+
+        // Wrong configuration (different seed → different fingerprint).
+        let other = SimConfig::quick_test(107);
+        let mut sim3 = Simulation::prepare(&other, &spec(), Partition::Iid);
+        assert!(sim3.resume_from(snap).is_err());
+
+        // Corrupt RNG state.
+        let mut bad_rng = snap.clone();
+        bad_rng.rng_words.pop();
+        let mut sim4 = Simulation::prepare(&cfg, &spec(), Partition::Iid);
+        assert!(sim4.resume_from(&bad_rng).is_err());
+
+        // History inconsistent with the declared progress.
+        let mut bad_hist = snap.clone();
+        bad_hist.rounds.pop();
+        let mut sim5 = Simulation::prepare(&cfg, &spec(), Partition::Iid);
+        assert!(sim5.resume_from(&bad_hist).is_err());
     }
 
     #[test]

@@ -18,10 +18,13 @@
 //!   enforces a round deadline, and runs clients on a thread pool with
 //!   per-client derived RNGs so results are thread-count invariant.
 
+use bytes::{BufMut, BytesMut};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::aggregate::Upload;
+use crate::compress::FrameReader;
+use crate::error::CoreError;
 use crate::sim::Env;
 
 /// Per-round communication accounting, aggregated into
@@ -57,6 +60,30 @@ impl CommStats {
     /// crashes).
     pub fn lost_uploads(&self) -> usize {
         self.drops + self.deadline_misses + self.crashes
+    }
+
+    /// Appends the stats to a binary frame (big-endian) — the stable
+    /// snapshot encoding.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64(self.bytes_down);
+        buf.put_u64(self.bytes_up);
+        buf.put_u64(self.drops as u64);
+        buf.put_u64(self.stragglers as u64);
+        buf.put_u64(self.deadline_misses as u64);
+        buf.put_u64(self.crashes as u64);
+    }
+
+    /// Parses stats encoded by [`CommStats::encode`]. Truncated frames
+    /// return [`CoreError::MalformedFrame`], never panic.
+    pub fn decode(r: &mut FrameReader<'_>) -> Result<Self, CoreError> {
+        Ok(CommStats {
+            bytes_down: r.u64()?,
+            bytes_up: r.u64()?,
+            drops: r.u64()? as usize,
+            stragglers: r.u64()? as usize,
+            deadline_misses: r.u64()? as usize,
+            crashes: r.u64()? as usize,
+        })
     }
 }
 
@@ -304,6 +331,25 @@ mod tests {
         assert_eq!(a.drops, 1);
         assert_eq!(a.stragglers, 2);
         assert_eq!(a.lost_uploads(), 3);
+    }
+
+    #[test]
+    fn comm_stats_encode_decode_roundtrips() {
+        let stats = CommStats {
+            bytes_down: 12_345,
+            bytes_up: 678,
+            drops: 2,
+            stragglers: 3,
+            deadline_misses: 1,
+            crashes: 4,
+        };
+        let mut buf = BytesMut::new();
+        stats.encode(&mut buf);
+        let mut r = FrameReader::new(&buf);
+        let back = CommStats::decode(&mut r).expect("intact frame");
+        assert!(r.is_empty());
+        assert_eq!(stats, back);
+        assert!(CommStats::decode(&mut FrameReader::new(&buf[..buf.len() - 1])).is_err());
     }
 
     #[test]

@@ -1,5 +1,11 @@
 #!/bin/bash
 # Regenerates every table and figure of the paper; logs under results/.
+#
+# Flags are forwarded to every binary: --full (larger configuration),
+# --seed <n>, and --resume <dir>. With --resume each run checkpoints
+# into its own subdirectory of <dir> every few rounds, so rerunning
+# this script after a crash or interruption continues every run from
+# its newest valid snapshot instead of starting over.
 set -u
 cd /root/repo
 mkdir -p results/logs
@@ -7,4 +13,6 @@ for exp in table1 table2 table3 table4 fig2 fig3 fig4 fig5 fig6 ablation; do
     echo "=== running $exp ($(date +%H:%M:%S)) ==="
     ./target/release/$exp "$@" 2>&1 | tee results/logs/$exp.log
 done
+echo "=== rendering summary ==="
+./target/release/summarize "$@" 2>&1 | tee results/logs/summarize.log
 echo "=== all experiments done ($(date +%H:%M:%S)) ==="

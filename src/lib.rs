@@ -20,7 +20,9 @@
 //! * [`device`] — heterogeneous device simulation,
 //! * [`core`] — the AdaptiveFL engine and baselines,
 //! * [`comm`] — simulated transport: wire encoding, fault injection,
-//!   round deadlines, parallel client execution.
+//!   round deadlines, parallel client execution,
+//! * [`store`] — crash-safe checkpointing: CRC-checked snapshot files,
+//!   atomic writes, retention, deterministic resume.
 //!
 //! # Quickstart
 //!
@@ -61,5 +63,7 @@ pub use adaptivefl_device as device;
 pub use adaptivefl_models as models;
 /// Neural-network substrate.
 pub use adaptivefl_nn as nn;
+/// Crash-safe snapshot persistence and deterministic resume.
+pub use adaptivefl_store as store;
 /// Tensor substrate.
 pub use adaptivefl_tensor as tensor;
