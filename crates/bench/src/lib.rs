@@ -6,13 +6,16 @@
 //! machine-readable JSON/CSV records under `results/`.
 //!
 //! All binaries accept `--full` for a larger (slower) configuration,
-//! `--seed <n>` to change the master seed, and `--resume <dir>` to
+//! `--seed <n>` to change the master seed, `--resume <dir>` to
 //! checkpoint every run into per-run subdirectories of `<dir>` and
-//! continue interrupted runs from their newest valid snapshot; the
-//! default fast mode is calibrated for a single CPU core.
+//! continue interrupted runs from their newest valid snapshot, and
+//! `--trace <dir>` to stream one `.jsonl` trace per run into `<dir>`
+//! (render them with the `trace_report` bin); the default fast mode is
+//! calibrated for a single CPU core.
 
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use adaptivefl_core::methods::{FlMethod, MethodKind};
 use adaptivefl_core::metrics::RunResult;
@@ -21,6 +24,7 @@ use adaptivefl_core::transport::PerfectTransport;
 use adaptivefl_data::SynthSpec;
 use adaptivefl_models::ModelConfig;
 use adaptivefl_store::{run_or_resume, SnapshotStore};
+use adaptivefl_trace::JsonlTracer;
 use serde::Serialize;
 
 /// Rounds between checkpoints when `--resume` is active.
@@ -36,15 +40,19 @@ pub struct Args {
     /// Checkpoint directory: every run checkpoints into its own
     /// subdirectory and resumes from it after an interruption.
     pub resume: Option<PathBuf>,
+    /// Trace directory: every run streams a `.jsonl` trace into its
+    /// own file under this directory.
+    pub trace: Option<PathBuf>,
 }
 
 impl Args {
-    /// Parses `--full`, `--seed <n>` and `--resume <dir>` from
-    /// `std::env::args`.
+    /// Parses `--full`, `--seed <n>`, `--resume <dir>` and
+    /// `--trace <dir>` from `std::env::args`.
     pub fn parse() -> Self {
         let mut full = false;
         let mut seed = 2024u64;
         let mut resume = None;
+        let mut trace = None;
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -60,25 +68,59 @@ impl Args {
                         it.next().expect("--resume needs a directory"),
                     ));
                 }
+                "--trace" => {
+                    trace = Some(PathBuf::from(it.next().expect("--trace needs a directory")));
+                }
                 other => eprintln!("ignoring unknown argument {other}"),
             }
         }
-        Args { full, seed, resume }
+        Args {
+            full,
+            seed,
+            resume,
+            trace,
+        }
     }
 
     fn store_for(&self, slug: &str) -> Option<SnapshotStore> {
         let dir = self.resume.as_ref()?;
-        let sub: String = slug
-            .chars()
-            .map(|c| {
-                if c.is_ascii_alphanumeric() {
-                    c.to_ascii_lowercase()
-                } else {
-                    '-'
-                }
-            })
-            .collect();
-        Some(SnapshotStore::open(dir.join(sub)).expect("opening checkpoint store"))
+        Some(SnapshotStore::open(dir.join(sanitize_slug(slug))).expect("opening checkpoint store"))
+    }
+
+    /// When `--trace <dir>` is on, installs a [`JsonlTracer`] writing
+    /// to `<dir>/<sanitized-slug>.jsonl` and returns a handle to it
+    /// (flush it after the run).
+    pub fn attach_tracer(&self, sim: &mut Simulation, slug: &str) -> Option<Arc<JsonlTracer>> {
+        let dir = self.trace.as_ref()?;
+        let path = dir.join(format!("{}.jsonl", sanitize_slug(slug)));
+        let tracer = Arc::new(JsonlTracer::create(&path).expect("creating trace file"));
+        sim.set_tracer(Arc::clone(&tracer) as Arc<dyn adaptivefl_core::trace::Tracer>);
+        Some(tracer)
+    }
+}
+
+/// Filesystem-safe form of a run slug: ASCII-lowercased with every
+/// non-alphanumeric character folded to `-`.
+pub fn sanitize_slug(slug: &str) -> String {
+    slug.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+fn finish_trace(tracer: Option<Arc<JsonlTracer>>) {
+    if let Some(t) = tracer {
+        t.flush().expect("flushing trace file");
+        if t.had_errors() {
+            eprintln!("warning: trace writes to {} failed", t.path().display());
+        } else {
+            println!("[traced {}]", t.path().display());
+        }
     }
 }
 
@@ -87,7 +129,8 @@ impl Args {
 /// directory when it is on. `slug` must uniquely identify the run
 /// (bin, model, dataset, partition, method).
 pub fn run_kind(sim: &mut Simulation, kind: MethodKind, args: &Args, slug: &str) -> RunResult {
-    match args.store_for(slug) {
+    let tracer = args.attach_tracer(sim, slug);
+    let result = match args.store_for(slug) {
         None => sim.run(kind),
         Some(mut store) => run_or_resume(
             sim,
@@ -97,7 +140,9 @@ pub fn run_kind(sim: &mut Simulation, kind: MethodKind, args: &Args, slug: &str)
             CHECKPOINT_EVERY,
         )
         .expect("checkpointed run"),
-    }
+    };
+    finish_trace(tracer);
+    result
 }
 
 /// [`run_kind`] for explicitly constructed methods (ablation
@@ -109,9 +154,12 @@ pub fn run_method(
     args: &Args,
     slug: &str,
 ) -> RunResult {
+    let tracer = args.attach_tracer(sim, slug);
     let Some(mut store) = args.store_for(slug) else {
         let method = make(sim.env());
-        return sim.run_method(method);
+        let result = sim.run_method(method);
+        finish_trace(tracer);
+        return result;
     };
     let method = make(sim.env());
     let resume_point = store.latest_valid().expect("scanning checkpoint store");
@@ -128,6 +176,7 @@ pub fn run_method(
             .run_method_with_hooks(method, &mut PerfectTransport, hooks)
             .expect("checkpointed run"),
     };
+    finish_trace(tracer);
     result.expect("no halt configured, so the run completes")
 }
 
@@ -288,6 +337,7 @@ mod tests {
                 full: false,
                 seed: 1,
                 resume: None,
+                trace: None,
             },
             false,
         );
@@ -297,6 +347,7 @@ mod tests {
                 full: true,
                 seed: 1,
                 resume: None,
+                trace: None,
             },
             true,
         );
@@ -307,5 +358,14 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.8314), "83.1");
+    }
+
+    #[test]
+    fn sanitize_slug_folds_to_filesystem_safe() {
+        assert_eq!(
+            sanitize_slug("table2/VGG16 SynCIFAR-10"),
+            "table2-vgg16-syncifar-10"
+        );
+        assert_eq!(sanitize_slug("AdaptiveFL+Greed"), "adaptivefl-greed");
     }
 }

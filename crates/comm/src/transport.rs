@@ -16,6 +16,7 @@
 
 use adaptivefl_core::aggregate::Upload;
 use adaptivefl_core::sim::Env;
+use adaptivefl_core::trace::{status_name, TraceEvent};
 use adaptivefl_core::transport::{
     client_secs, ClientJob, CommStats, Delivery, DeliveryStatus, Exchange, Transport,
 };
@@ -112,7 +113,8 @@ impl Transport for SimTransport {
         let mut stats = CommStats::default();
         let mut slowest = 0.0f64;
         for r in results {
-            stats.bytes_down += wire::dense_payload_bytes(r.down_params);
+            let bytes_down = wire::dense_payload_bytes(r.down_params);
+            stats.bytes_down += bytes_down;
             let draw = self.faults.draw(env.cfg.seed, round, r.client);
 
             // A crashed client spends the downlink and then vanishes.
@@ -120,6 +122,16 @@ impl Transport for SimTransport {
                 stats.crashes += 1;
                 let secs = client_secs(env, r.client, 0, 0, r.down_params, 0);
                 slowest = slowest.max(secs);
+                if env.tracer().enabled() {
+                    env.tracer().event(TraceEvent::Comm {
+                        round,
+                        client: r.client,
+                        bytes_down,
+                        bytes_up: 0,
+                        status: status_name(DeliveryStatus::Crashed),
+                        straggled: false,
+                    });
+                }
                 deliveries.push(Delivery {
                     client: r.client,
                     tag: r.tag,
@@ -138,6 +150,16 @@ impl Transport for SimTransport {
             let Some(upload) = r.outcome.upload else {
                 let secs = client_secs(env, r.client, 0, 0, r.down_params, 0);
                 slowest = slowest.max(secs);
+                if env.tracer().enabled() {
+                    env.tracer().event(TraceEvent::Comm {
+                        round,
+                        client: r.client,
+                        bytes_down,
+                        bytes_up: 0,
+                        status: status_name(DeliveryStatus::TrainingFailed),
+                        straggled: false,
+                    });
+                }
                 deliveries.push(Delivery {
                     client: r.client,
                     tag: r.tag,
@@ -205,6 +227,20 @@ impl Transport for SimTransport {
 
             if status.is_delivered() {
                 stats.bytes_up += frame.len() as u64;
+            }
+            if env.tracer().enabled() {
+                env.tracer().event(TraceEvent::Comm {
+                    round,
+                    client: r.client,
+                    bytes_down,
+                    bytes_up: if status.is_delivered() {
+                        frame.len() as u64
+                    } else {
+                        0
+                    },
+                    status: status_name(status),
+                    straggled: draw.straggle,
+                });
             }
             deliveries.push(Delivery {
                 client: r.client,

@@ -24,26 +24,8 @@ fn main() {
         let cfg = SimConfig::quick_test(900);
         let mut sim = Simulation::prepare(&cfg, &spec, Partition::Dirichlet(0.5));
         let res = sim.run(kind);
-        // Strip the comm field (absent pre-refactor) by printing the
-        // legacy fields only.
-        for r in &res.rounds {
-            println!(
-                "{kind} r{} sent={} back={} loss={:.9} secs={:.9} fail={}",
-                r.round, r.sent_params, r.returned_params, r.train_loss, r.sim_secs, r.failures
-            );
-        }
-        for e in &res.evals {
-            let levels: Vec<String> = e
-                .levels
-                .iter()
-                .map(|(n, a)| format!("{n}:{a:.9}"))
-                .collect();
-            println!(
-                "{kind} e{} full={:.9} {}",
-                e.round,
-                e.full,
-                levels.join(" ")
-            );
-        }
+        // The fingerprint prints the legacy round/eval fields only
+        // (the comm field is absent pre-refactor).
+        print!("{}", res.fingerprint());
     }
 }

@@ -8,6 +8,8 @@
 use adaptivefl_nn::ParamMap;
 use adaptivefl_tensor::{SliceSpec, Tensor};
 
+use crate::trace::{TraceEvent, Tracer};
+
 /// One client upload: the trained submodel parameters and the client's
 /// local data size `|d_c|` (the aggregation weight).
 #[derive(Debug, Clone)]
@@ -28,6 +30,22 @@ pub struct Upload {
 /// Panics if an upload has an unknown parameter name, a non-nested
 /// shape, or a non-positive weight.
 pub fn aggregate(global: &mut ParamMap, uploads: &[Upload]) {
+    aggregate_traced(global, uploads, &crate::trace::NoopTracer, 0);
+}
+
+/// [`aggregate`] with per-layer element-coverage reporting: when the
+/// tracer is enabled, emits one [`TraceEvent::LayerCoverage`] per
+/// touched parameter tensor counting how many elements were covered by
+/// at least one upload (Algorithm 2's covered/kept split). The
+/// arithmetic is identical to [`aggregate`] — coverage is counted from
+/// the same `cnt` accumulator the averaging already computes, so
+/// tracing cannot perturb the result.
+pub fn aggregate_traced(
+    global: &mut ParamMap,
+    uploads: &[Upload],
+    tracer: &dyn Tracer,
+    round: usize,
+) {
     if uploads.is_empty() {
         return;
     }
@@ -40,7 +58,7 @@ pub fn aggregate(global: &mut ParamMap, uploads: &[Upload]) {
         let g = global.get_mut(&name).expect("name from global");
         let mut acc = Tensor::zeros(g.shape());
         let mut cnt = Tensor::zeros(g.shape());
-        let mut touched = false;
+        let mut contributors = 0usize;
         for u in uploads {
             if let Some(block) = u.params.get(&name) {
                 let spec = SliceSpec::new(block.shape().to_vec());
@@ -51,10 +69,10 @@ pub fn aggregate(global: &mut ParamMap, uploads: &[Upload]) {
                     g.shape()
                 );
                 spec.scatter_add(block, u.weight, &mut acc, &mut cnt);
-                touched = true;
+                contributors += 1;
             }
         }
-        if !touched {
+        if contributors == 0 {
             continue;
         }
         let gv = g.as_mut_slice();
@@ -65,6 +83,16 @@ pub fn aggregate(global: &mut ParamMap, uploads: &[Upload]) {
                 gv[i] = av[i] / cv[i];
             }
             // else: keep the previous global value (Algorithm 2, l.14).
+        }
+        if tracer.enabled() {
+            let covered = cv.iter().filter(|&&c| c > 0.0).count() as u64;
+            tracer.event(TraceEvent::LayerCoverage {
+                round,
+                layer: name,
+                covered,
+                total: cv.len() as u64,
+                uploads: contributors,
+            });
         }
     }
 }

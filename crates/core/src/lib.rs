@@ -32,6 +32,12 @@
 //!   runs, and the [`SnapshotSink`](checkpoint::SnapshotSink) hook the
 //!   `adaptivefl-store` crate plugs durable storage into; resumed runs
 //!   are bit-identical to uninterrupted ones.
+//! * [`trace`] — structured observability: the [`Tracer`](trace::Tracer)
+//!   trait every phase of the round loop reports into, with the
+//!   zero-overhead [`NoopTracer`](trace::NoopTracer) default; the
+//!   `adaptivefl-trace` crate provides recording/JSONL implementations
+//!   and the report renderer. Traced runs are bit-identical to
+//!   untraced ones.
 //!
 //! # Example
 //!
@@ -61,10 +67,12 @@ pub mod prune;
 pub mod rl;
 pub mod select;
 pub mod sim;
+pub mod trace;
 pub mod trainer;
 pub mod transport;
 
 pub use checkpoint::{Checkpointable, MemorySink, MethodState, ServerSnapshot, SnapshotSink};
 pub use error::CoreError;
 pub use pool::{Level, ModelPool, PoolEntry};
+pub use trace::{NoopTracer, Phase, PhaseTimer, TraceEvent, Tracer};
 pub use transport::{CommStats, PerfectTransport, Transport};

@@ -6,7 +6,7 @@ use adaptivefl_nn::ParamMap;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::aggregate::{aggregate, Upload};
+use crate::aggregate::{aggregate_traced, Upload};
 use crate::checkpoint::{Checkpointable, MethodState};
 use crate::error::CoreError;
 use crate::methods::FlMethod;
@@ -15,6 +15,7 @@ use crate::prune::extract_submodel;
 use crate::rl::RlState;
 use crate::select::{select_client, SelectionStrategy};
 use crate::sim::Env;
+use crate::trace::{status_name, Phase, PhaseTimer, TraceEvent};
 use crate::trainer::evaluate;
 use crate::transport::{ClientJob, JobFn, LocalOutcome, Transport};
 
@@ -137,6 +138,7 @@ impl FlMethod for AdaptiveFl {
         // Steps 4-5: dispatch one job per assignment; the closure is
         // the client side — adaptive pruning to the currently available
         // resources, then local training.
+        let dispatch_timer = PhaseTimer::start(env.tracer(), Phase::Dispatch);
         let global = &self.global;
         let mut jobs: Vec<ClientJob<'_>> = Vec::with_capacity(assignments.len());
         let mut sent = 0u64;
@@ -144,12 +146,27 @@ impl FlMethod for AdaptiveFl {
             let entry = pool.entry(m_idx);
             self.rl.update_on_dispatch(entry.level, c);
             sent += entry.params;
+            if env.tracer().enabled() {
+                env.tracer().event(TraceEvent::Dispatch {
+                    round,
+                    client: c,
+                    tag: m_idx,
+                    params: entry.params,
+                });
+                env.tracer().event(TraceEvent::RlDispatch {
+                    round,
+                    client: c,
+                    level: entry.level.type_index(),
+                });
+            }
 
             let run: JobFn<'_> = Box::new(move |rng: &mut ChaCha8Rng| {
+                let train_timer = PhaseTimer::start(env.tracer(), Phase::ClientTrain);
                 let capacity = env.fleet.device(c).capacity_at(round);
                 let Some(fit) = pool.largest_fitting(m_idx, capacity) else {
                     // The dispatched model still travelled down the
                     // link; the transport charges the downlink.
+                    train_timer.stop(env.tracer());
                     return LocalOutcome::failure();
                 };
                 let sub = extract_submodel(global, &env.cfg.model, &fit.plan);
@@ -162,6 +179,17 @@ impl FlMethod for AdaptiveFl {
                     env.cfg.model.input,
                 )
                 .macs;
+                train_timer.stop(env.tracer());
+                if env.tracer().enabled() {
+                    env.tracer().event(TraceEvent::ClientTrain {
+                        round,
+                        client: c,
+                        tag: fit.index,
+                        loss,
+                        samples: data.len(),
+                        macs_per_sample: macs,
+                    });
+                }
                 LocalOutcome {
                     upload: Some(Upload {
                         params: net.param_map(),
@@ -181,17 +209,31 @@ impl FlMethod for AdaptiveFl {
                 run,
             });
         }
+        dispatch_timer.stop(env.tracer());
 
         let exchange = transport.exchange(env, round, jobs, rng);
 
         // Step 6: consume deliveries — RL return updates, then
         // heterogeneous aggregation of whatever survived the link.
+        let collect_timer = PhaseTimer::start(env.tracer(), Phase::Collect);
         let mut uploads = Vec::with_capacity(exchange.deliveries.len());
         let mut returned = 0u64;
         let mut loss_acc = 0.0f32;
         let mut trained = 0usize;
         let mut failures = 0usize;
         for d in exchange.deliveries {
+            if env.tracer().enabled() {
+                env.tracer().event(TraceEvent::Collect {
+                    round,
+                    client: d.client,
+                    status: status_name(d.status),
+                    up_params: if d.status.is_delivered() {
+                        d.up_params
+                    } else {
+                        0
+                    },
+                });
+            }
             if d.status.is_delivered() {
                 returned += d.up_params;
                 loss_acc += d.loss;
@@ -199,16 +241,35 @@ impl FlMethod for AdaptiveFl {
                 uploads.push(d.upload.expect("delivered upload present"));
                 self.rl
                     .update_on_return(pool, d.tag, Some(d.client_tag), d.client);
+                if env.tracer().enabled() {
+                    env.tracer().event(TraceEvent::RlReturn {
+                        round,
+                        client: d.client,
+                        sent: d.tag,
+                        returned: Some(d.client_tag),
+                    });
+                }
             } else {
                 // Resource failures and transport losses (drops, late
                 // uploads, crashes) look the same from the server: the
                 // dispatched model never came back, so `T_r` records a
                 // total failure.
                 self.rl.update_on_return(pool, d.tag, None, d.client);
+                if env.tracer().enabled() {
+                    env.tracer().event(TraceEvent::RlReturn {
+                        round,
+                        client: d.client,
+                        sent: d.tag,
+                        returned: None,
+                    });
+                }
                 failures += 1;
             }
         }
-        aggregate(&mut self.global, &uploads);
+        collect_timer.stop(env.tracer());
+        let agg_timer = PhaseTimer::start(env.tracer(), Phase::Aggregate);
+        aggregate_traced(&mut self.global, &uploads, env.tracer(), round);
+        agg_timer.stop(env.tracer());
 
         RoundRecord {
             round,

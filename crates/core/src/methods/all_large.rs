@@ -7,12 +7,13 @@ use adaptivefl_nn::layer::LayerExt;
 use adaptivefl_nn::ParamMap;
 use rand_chacha::ChaCha8Rng;
 
-use crate::aggregate::{aggregate, Upload};
+use crate::aggregate::{aggregate_traced, Upload};
 use crate::checkpoint::{Checkpointable, MethodState};
 use crate::error::CoreError;
-use crate::methods::{sample_clients, FlMethod};
+use crate::methods::{sample_clients, trace_client_train, trace_collect, trace_dispatch, FlMethod};
 use crate::metrics::{EvalRecord, RoundRecord};
 use crate::sim::Env;
+use crate::trace::{Phase, PhaseTimer};
 use crate::trainer::evaluate;
 use crate::transport::{ClientJob, JobFn, LocalOutcome, Transport};
 
@@ -64,15 +65,20 @@ impl FlMethod for AllLarge {
         )
         .macs;
 
+        let dispatch_timer = PhaseTimer::start(env.tracer(), Phase::Dispatch);
         let global = &self.global;
         let jobs: Vec<ClientJob<'_>> = clients
             .iter()
             .map(|&c| {
+                trace_dispatch(env, round, c, 0, full.params);
                 let run: JobFn<'_> = Box::new(move |rng: &mut ChaCha8Rng| {
+                    let train_timer = PhaseTimer::start(env.tracer(), Phase::ClientTrain);
                     let mut net = env.cfg.model.build(&full.plan, rng);
                     net.load_param_map(global);
                     let data = env.data.client(c);
                     let loss = env.cfg.local.train(&mut net, data, rng);
+                    train_timer.stop(env.tracer());
+                    trace_client_train(env, round, c, 0, loss, data.len(), macs);
                     LocalOutcome {
                         upload: Some(Upload {
                             params: net.param_map(),
@@ -93,15 +99,18 @@ impl FlMethod for AllLarge {
                 }
             })
             .collect();
+        dispatch_timer.stop(env.tracer());
 
         let exchange = transport.exchange(env, round, jobs, rng);
 
+        let collect_timer = PhaseTimer::start(env.tracer(), Phase::Collect);
         let mut uploads = Vec::with_capacity(exchange.deliveries.len());
         let mut returned = 0u64;
         let mut loss_acc = 0.0;
         let mut trained = 0usize;
         let mut failures = 0usize;
         for d in exchange.deliveries {
+            trace_collect(env, round, &d);
             if d.status.is_delivered() {
                 returned += d.up_params;
                 loss_acc += d.loss;
@@ -111,7 +120,10 @@ impl FlMethod for AllLarge {
                 failures += 1;
             }
         }
-        aggregate(&mut self.global, &uploads);
+        collect_timer.stop(env.tracer());
+        let agg_timer = PhaseTimer::start(env.tracer(), Phase::Aggregate);
+        aggregate_traced(&mut self.global, &uploads, env.tracer(), round);
+        agg_timer.stop(env.tracer());
 
         RoundRecord {
             round,

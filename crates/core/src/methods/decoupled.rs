@@ -7,12 +7,13 @@ use adaptivefl_nn::layer::LayerExt;
 use adaptivefl_nn::ParamMap;
 use rand_chacha::ChaCha8Rng;
 
-use crate::aggregate::{aggregate, Upload};
+use crate::aggregate::{aggregate_traced, Upload};
 use crate::checkpoint::{Checkpointable, MethodState};
 use crate::error::CoreError;
-use crate::methods::{sample_clients, FlMethod};
+use crate::methods::{sample_clients, trace_client_train, trace_collect, trace_dispatch, FlMethod};
 use crate::metrics::{EvalRecord, RoundRecord};
 use crate::sim::Env;
+use crate::trace::{Phase, PhaseTimer};
 use crate::trainer::evaluate;
 use crate::transport::{ClientJob, JobFn, LocalOutcome, Transport};
 
@@ -92,6 +93,7 @@ impl FlMethod for Decoupled {
 
         // A client with no affordable level is never dispatched to at
         // all — no downlink is spent, unlike the other baselines.
+        let dispatch_timer = PhaseTimer::start(env.tracer(), Phase::Dispatch);
         let levels = &self.levels;
         let mut jobs: Vec<ClientJob<'_>> = Vec::with_capacity(clients.len());
         for &c in &clients {
@@ -106,13 +108,17 @@ impl FlMethod for Decoupled {
             };
             let params = levels[li].2;
             sent += params;
+            trace_dispatch(env, round, c, li, params);
             let run: JobFn<'_> = Box::new(move |rng: &mut ChaCha8Rng| {
+                let train_timer = PhaseTimer::start(env.tracer(), Phase::ClientTrain);
                 let (_, plan, params, global) = &levels[li];
                 let mut net = env.cfg.model.build(plan, rng);
                 net.load_param_map(global);
                 let data = env.data.client(c);
                 let loss = env.cfg.local.train(&mut net, data, rng);
                 let macs = cost_of(&env.cfg.model.full_blueprint(plan), env.cfg.model.input).macs;
+                train_timer.stop(env.tracer());
+                trace_client_train(env, round, c, li, loss, data.len(), macs);
                 LocalOutcome {
                     upload: Some(Upload {
                         params: net.param_map(),
@@ -132,14 +138,17 @@ impl FlMethod for Decoupled {
                 run,
             });
         }
+        dispatch_timer.stop(env.tracer());
 
         let exchange = transport.exchange(env, round, jobs, rng);
 
+        let collect_timer = PhaseTimer::start(env.tracer(), Phase::Collect);
         let mut per_level_uploads: Vec<Vec<Upload>> = vec![Vec::new(); self.levels.len()];
         let mut returned = 0u64;
         let mut loss_acc = 0.0;
         let mut trained = 0usize;
         for d in exchange.deliveries {
+            trace_collect(env, round, &d);
             if d.status.is_delivered() {
                 returned += d.up_params;
                 loss_acc += d.loss;
@@ -149,9 +158,12 @@ impl FlMethod for Decoupled {
                 failures += 1;
             }
         }
+        collect_timer.stop(env.tracer());
+        let agg_timer = PhaseTimer::start(env.tracer(), Phase::Aggregate);
         for (li, uploads) in per_level_uploads.into_iter().enumerate() {
-            aggregate(&mut self.levels[li].3, &uploads);
+            aggregate_traced(&mut self.levels[li].3, &uploads, env.tracer(), round);
         }
+        agg_timer.stop(env.tracer());
 
         RoundRecord {
             round,

@@ -128,3 +128,57 @@ pub(crate) fn sample_clients(env: &Env, round: usize, k: usize, rng: &mut impl R
     eligible.truncate(k);
     eligible
 }
+
+/// Emits a [`TraceEvent::Dispatch`](crate::trace::TraceEvent) when
+/// tracing is enabled.
+pub(crate) fn trace_dispatch(env: &Env, round: usize, client: usize, tag: usize, params: u64) {
+    if env.tracer().enabled() {
+        env.tracer().event(crate::trace::TraceEvent::Dispatch {
+            round,
+            client,
+            tag,
+            params,
+        });
+    }
+}
+
+/// Emits a [`TraceEvent::ClientTrain`](crate::trace::TraceEvent) when
+/// tracing is enabled (called from inside client jobs, possibly on a
+/// transport worker thread).
+pub(crate) fn trace_client_train(
+    env: &Env,
+    round: usize,
+    client: usize,
+    tag: usize,
+    loss: f32,
+    samples: usize,
+    macs_per_sample: u64,
+) {
+    if env.tracer().enabled() {
+        env.tracer().event(crate::trace::TraceEvent::ClientTrain {
+            round,
+            client,
+            tag,
+            loss,
+            samples,
+            macs_per_sample,
+        });
+    }
+}
+
+/// Emits a [`TraceEvent::Collect`](crate::trace::TraceEvent) for one
+/// delivery when tracing is enabled.
+pub(crate) fn trace_collect(env: &Env, round: usize, d: &crate::transport::Delivery) {
+    if env.tracer().enabled() {
+        env.tracer().event(crate::trace::TraceEvent::Collect {
+            round,
+            client: d.client,
+            status: crate::trace::status_name(d.status),
+            up_params: if d.status.is_delivered() {
+                d.up_params
+            } else {
+                0
+            },
+        });
+    }
+}

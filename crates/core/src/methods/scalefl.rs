@@ -15,13 +15,14 @@ use adaptivefl_nn::layer::LayerExt;
 use adaptivefl_nn::{ParamKind, ParamMap};
 use rand_chacha::ChaCha8Rng;
 
-use crate::aggregate::{aggregate, Upload};
+use crate::aggregate::{aggregate_traced, Upload};
 use crate::checkpoint::{Checkpointable, MethodState};
 use crate::error::CoreError;
-use crate::methods::{sample_clients, FlMethod};
+use crate::methods::{sample_clients, trace_client_train, trace_collect, trace_dispatch, FlMethod};
 use crate::metrics::{EvalRecord, RoundRecord};
 use crate::prune::extract_by_shapes;
 use crate::sim::Env;
+use crate::trace::{Phase, PhaseTimer};
 use crate::trainer::evaluate;
 use crate::transport::{ClientJob, JobFn, LocalOutcome, Transport};
 
@@ -128,6 +129,7 @@ impl FlMethod for ScaleFl {
         let clients = sample_clients(env, round, env.cfg.clients_per_round, rng);
         let mut sent = 0u64;
 
+        let dispatch_timer = PhaseTimer::start(env.tracer(), Phase::Dispatch);
         let global = &self.global;
         let levels = &self.levels;
         let mut jobs: Vec<ClientJob<'_>> = Vec::with_capacity(clients.len());
@@ -135,9 +137,12 @@ impl FlMethod for ScaleFl {
             let li = self.level_for_class(env.fleet.device(c).class());
             let params = levels[li].params;
             sent += params;
+            trace_dispatch(env, round, c, li, params);
             let run: JobFn<'_> = Box::new(move |rng: &mut ChaCha8Rng| {
+                let train_timer = PhaseTimer::start(env.tracer(), Phase::ClientTrain);
                 let level = &levels[li];
                 if env.fleet.device(c).capacity_at(round) < level.params {
+                    train_timer.stop(env.tracer());
                     return LocalOutcome::failure();
                 }
                 let sub = extract_by_shapes(global, &level.shapes);
@@ -149,6 +154,8 @@ impl FlMethod for ScaleFl {
                     env.cfg
                         .local
                         .train_multi_exit(&mut net, data, KD_WEIGHT, KD_TEMPERATURE, rng);
+                train_timer.stop(env.tracer());
+                trace_client_train(env, round, c, li, loss, data.len(), level.macs);
                 LocalOutcome {
                     upload: Some(Upload {
                         params: net.param_map(),
@@ -168,15 +175,18 @@ impl FlMethod for ScaleFl {
                 run,
             });
         }
+        dispatch_timer.stop(env.tracer());
 
         let exchange = transport.exchange(env, round, jobs, rng);
 
+        let collect_timer = PhaseTimer::start(env.tracer(), Phase::Collect);
         let mut uploads = Vec::new();
         let mut returned = 0u64;
         let mut loss_acc = 0.0;
         let mut trained = 0usize;
         let mut failures = 0usize;
         for d in exchange.deliveries {
+            trace_collect(env, round, &d);
             if d.status.is_delivered() {
                 returned += d.up_params;
                 loss_acc += d.loss;
@@ -186,7 +196,10 @@ impl FlMethod for ScaleFl {
                 failures += 1;
             }
         }
-        aggregate(&mut self.global, &uploads);
+        collect_timer.stop(env.tracer());
+        let agg_timer = PhaseTimer::start(env.tracer(), Phase::Aggregate);
+        aggregate_traced(&mut self.global, &uploads, env.tracer(), round);
+        agg_timer.stop(env.tracer());
 
         RoundRecord {
             round,

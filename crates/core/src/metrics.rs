@@ -215,6 +215,43 @@ impl RunResult {
         self.rounds.iter().map(|r| r.sim_secs).sum()
     }
 
+    /// A 9-decimal textual fingerprint of the run: one line per round
+    /// (`"{method} r{round} sent=… back=… loss=… secs=… fail=…"`) and
+    /// one per evaluation (`"{method} e{round} full=… level:acc…"`).
+    /// Two runs print identical fingerprints iff their legacy
+    /// round/eval fields match to the printed precision — the format
+    /// used by `examples/fingerprint.rs`, the golden regression suite,
+    /// and the trace-determinism tests.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let m = &self.method;
+        for r in &self.rounds {
+            writeln!(
+                out,
+                "{m} r{} sent={} back={} loss={:.9} secs={:.9} fail={}",
+                r.round, r.sent_params, r.returned_params, r.train_loss, r.sim_secs, r.failures
+            )
+            .expect("writing to String cannot fail");
+        }
+        for e in &self.evals {
+            let levels: Vec<String> = e
+                .levels
+                .iter()
+                .map(|(n, a)| format!("{n}:{a:.9}"))
+                .collect();
+            writeln!(
+                out,
+                "{m} e{} full={:.9} {}",
+                e.round,
+                e.full,
+                levels.join(" ")
+            )
+            .expect("writing to String cannot fail");
+        }
+        out
+    }
+
     /// Accuracy-vs-round learning curve `(round, full, avg)`.
     pub fn curve(&self) -> Vec<(usize, f32, f32)> {
         self.evals

@@ -8,11 +8,14 @@ use adaptivefl_nn::ParamMap;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+use std::sync::Arc;
+
 use crate::checkpoint::{ServerSnapshot, SnapshotSink};
 use crate::error::CoreError;
 use crate::methods::{FlMethod, MethodKind};
 use crate::metrics::{EvalRecord, RoundRecord, RunResult};
 use crate::pool::{ModelPool, DEFAULT_RATIOS};
+use crate::trace::{NoopTracer, Phase, PhaseTimer, TraceEvent, Tracer};
 use crate::trainer::LocalTrainer;
 use crate::transport::{PerfectTransport, Transport};
 
@@ -118,9 +121,19 @@ pub struct Env {
     pub fleet: DeviceFleet,
     /// The `2p+1`-entry model pool.
     pub pool: ModelPool,
+    /// Observability sink (defaults to the zero-overhead
+    /// [`NoopTracer`]). Shared so client jobs can emit from transport
+    /// worker threads; tracers only consume signals, never influence
+    /// the run.
+    pub tracer: Arc<dyn Tracer>,
 }
 
 impl Env {
+    /// The active tracer.
+    pub fn tracer(&self) -> &dyn Tracer {
+        &*self.tracer
+    }
+
     /// A freshly initialised full global model (deterministic per
     /// seed).
     pub fn fresh_global(&self) -> ParamMap {
@@ -209,6 +222,7 @@ impl Simulation {
                 data,
                 fleet,
                 pool,
+                tracer: Arc::new(NoopTracer),
             },
         }
     }
@@ -232,6 +246,19 @@ impl Simulation {
         );
         self.env.fleet = fleet;
         self
+    }
+
+    /// Installs a tracer for subsequent runs (builder form). Tracers
+    /// observe but never influence a run: a traced run's result is
+    /// bit-identical to an untraced one.
+    pub fn with_tracer(mut self, tracer: Arc<dyn Tracer>) -> Self {
+        self.env.tracer = tracer;
+        self
+    }
+
+    /// Installs a tracer for subsequent runs.
+    pub fn set_tracer(&mut self, tracer: Arc<dyn Tracer>) {
+        self.env.tracer = tracer;
     }
 
     /// Runs one method for `cfg.rounds` rounds over the default
@@ -538,19 +565,54 @@ impl Simulation {
         mut evals: Vec<EvalRecord>,
         mut hooks: Option<RunHooks<'_>>,
     ) -> Result<Option<RunResult>, CoreError> {
+        let tracer = Arc::clone(&self.env.tracer);
+        if tracer.enabled() {
+            tracer.event(TraceEvent::RunStart {
+                method: method.name(),
+                start_round,
+                rounds: self.env.cfg.rounds,
+            });
+        }
         for t in start_round..self.env.cfg.rounds {
-            rounds.push(method.round(&self.env, t, transport, &mut rng));
+            if tracer.enabled() {
+                tracer.event(TraceEvent::RoundStart { round: t });
+            }
+            let round_timer = PhaseTimer::start(&*tracer, Phase::Round);
+            let rec = method.round(&self.env, t, transport, &mut rng);
+            round_timer.stop(&*tracer);
+            if tracer.enabled() {
+                tracer.event(TraceEvent::RoundEnd {
+                    round: t,
+                    sim_secs: rec.sim_secs,
+                    failures: rec.failures,
+                });
+            }
+            rounds.push(rec);
             let last = t + 1 == self.env.cfg.rounds;
             if last || (t + 1) % self.env.cfg.eval_every.max(1) == 0 {
-                evals.push(method.evaluate(&self.env, t));
+                let eval_timer = PhaseTimer::start(&*tracer, Phase::Eval);
+                let ev = method.evaluate(&self.env, t);
+                eval_timer.stop(&*tracer);
+                if tracer.enabled() {
+                    tracer.event(TraceEvent::Eval {
+                        round: t,
+                        full: ev.full,
+                    });
+                }
+                evals.push(ev);
             }
             if let Some(h) = hooks.as_mut() {
                 let done = t + 1;
                 let halt = h.halt_after.is_some_and(|r| done >= r) && !last;
                 let periodic = h.checkpoint_every > 0 && done % h.checkpoint_every == 0 && !last;
                 if halt || periodic {
+                    let ckpt_timer = PhaseTimer::start(&*tracer, Phase::Checkpoint);
                     let snap = self.snapshot(kind, &*method, &rng, done, &rounds, &evals);
                     h.sink.save(&snap)?;
+                    ckpt_timer.stop(&*tracer);
+                    if tracer.enabled() {
+                        tracer.event(TraceEvent::CheckpointSave { round: done });
+                    }
                 }
                 if halt {
                     return Ok(None);

@@ -1,0 +1,119 @@
+//! Property tests for `Split(M)`: every `(family, p, ratios)` choice
+//! yields an ordered `2p+1` pool whose entries nest within their level
+//! and inside `L_1`, with every fine-grained start unit `I ≥ τ`.
+
+use adaptivefl_core::pool::{Level, ModelPool, DEFAULT_RATIOS};
+use adaptivefl_models::ModelConfig;
+use proptest::prelude::*;
+
+fn family(idx: usize) -> ModelConfig {
+    match idx % 4 {
+        0 => ModelConfig::tiny(10),
+        1 => ModelConfig::vgg16_fast(10),
+        2 => ModelConfig::resnet18_fast(10),
+        _ => ModelConfig::mobilenet_v2_fast(10),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Structure: `2p+1` entries, globally ordered by size, `p` per
+    /// fine-grained level plus the single full model on top.
+    #[test]
+    fn pool_is_ordered_2p_plus_1(
+        fam in 0usize..4,
+        p in 1usize..4,
+        rs in 0.30f32..0.50,
+        dm in 0.12f32..0.35,
+    ) {
+        let cfg = family(fam);
+        let pool = ModelPool::split(&cfg, p, (rs, rs + dm));
+        prop_assert_eq!(pool.len(), 2 * p + 1);
+        prop_assert_eq!(pool.level_indices(Level::Small).len(), p);
+        prop_assert_eq!(pool.level_indices(Level::Medium).len(), p);
+        prop_assert_eq!(pool.level_indices(Level::Large).len(), 1);
+        for (i, e) in pool.entries().iter().enumerate() {
+            prop_assert_eq!(e.index, i, "entries must be re-indexed after sort");
+        }
+        for w in pool.entries().windows(2) {
+            prop_assert!(
+                w[0].params <= w[1].params,
+                "{} ({}) must not outweigh {} ({})",
+                w[0].name(), w[0].params, w[1].name(), w[1].params
+            );
+        }
+        prop_assert_eq!(pool.largest().level, Level::Large);
+        prop_assert_eq!(pool.largest().params, cfg.num_params(&cfg.full_plan()));
+    }
+
+    /// Nesting: within a level, each entry's width plan is physically
+    /// nested in the next larger one of the same level, and every
+    /// entry nests inside the full model `L_1`. (Cross-level entries
+    /// need not nest — S and M use different width ratios.)
+    #[test]
+    fn entries_nest_within_level_and_in_l1(
+        fam in 0usize..4,
+        p in 1usize..4,
+        rs in 0.30f32..0.50,
+        dm in 0.12f32..0.35,
+    ) {
+        let cfg = family(fam);
+        let pool = ModelPool::split(&cfg, p, (rs, rs + dm));
+        let full = &pool.largest().plan;
+        for e in pool.entries() {
+            prop_assert!(
+                e.plan.nested_in(full),
+                "{} must nest in L_1", e.name()
+            );
+        }
+        for level in [Level::Small, Level::Medium] {
+            let idx = pool.level_indices(level);
+            for w in idx.windows(2) {
+                let (small, large) = (pool.entry(w[0]), pool.entry(w[1]));
+                prop_assert!(
+                    small.plan.nested_in(&large.plan),
+                    "{} must nest in {}", small.name(), large.name()
+                );
+            }
+        }
+    }
+
+    /// The paper's threshold: every fine-grained start unit satisfies
+    /// `I ≥ τ` — shallow layers are never pruned (§3.2) — and `I` is
+    /// drawn from the family's allowed list.
+    #[test]
+    fn start_units_respect_tau(
+        fam in 0usize..4,
+        p in 1usize..4,
+    ) {
+        let cfg = family(fam);
+        let tau = cfg.min_start_unit();
+        let allowed = cfg.allowed_start_units();
+        let pool = ModelPool::split(&cfg, p, DEFAULT_RATIOS);
+        for e in pool.entries() {
+            if e.level == Level::Large {
+                continue; // L_1 is unpruned; its spec has no I.
+            }
+            prop_assert!(
+                e.spec.start_unit >= tau,
+                "{}: I = {} below tau = {}", e.name(), e.spec.start_unit, tau
+            );
+            prop_assert!(
+                allowed.contains(&e.spec.start_unit),
+                "{}: I = {} not an allowed start unit", e.name(), e.spec.start_unit
+            );
+        }
+        // Within a level, larger rank numbers mean smaller models,
+        // i.e. start units descend toward tau with rank.
+        for level in [Level::Small, Level::Medium] {
+            let idx = pool.level_indices(level);
+            for w in idx.windows(2) {
+                prop_assert!(
+                    pool.entry(w[0]).spec.start_unit <= pool.entry(w[1]).spec.start_unit,
+                    "start units must ascend with size within level {:?}", level
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Unit and property tests pinning the RL tables to Algorithm 1 of
+//! the paper: the `1/√n` curiosity bonus (MBIE-EB), the `T_r` updates
+//! of lines 12–26, and the `min(0.5, R_s) · R_c` reward cap.
+
+use adaptivefl_core::pool::{Level, ModelPool, DEFAULT_RATIOS};
+use adaptivefl_core::rl::RlState;
+use adaptivefl_models::ModelConfig;
+use proptest::prelude::*;
+
+fn pool() -> ModelPool {
+    ModelPool::split(&ModelConfig::tiny(10), 3, DEFAULT_RATIOS)
+}
+
+/// A transparent reference model of Algorithm 1's table updates
+/// (lines 12–26), kept deliberately naive so any drift in the real
+/// implementation shows up as a mismatch.
+struct ReferenceTables {
+    t_c: Vec<Vec<f64>>,
+    t_r: Vec<Vec<f64>>,
+    p: usize,
+}
+
+impl ReferenceTables {
+    fn new(pool: &ModelPool, clients: usize) -> Self {
+        ReferenceTables {
+            t_c: vec![vec![1.0; clients]; 3],
+            t_r: vec![vec![1.0; clients]; pool.len()],
+            p: pool.p(),
+        }
+    }
+
+    fn dispatch(&mut self, level: Level, client: usize) {
+        // Line 12.
+        self.t_c[level.type_index()][client] += 1.0;
+    }
+
+    fn ret(&mut self, pool: &ModelPool, sent: usize, returned: Option<usize>, client: usize) {
+        let top = pool.len();
+        match returned {
+            Some(ret) if ret == sent => {
+                // Line 13 + lines 15–18.
+                self.t_c[pool.entry(ret).level.type_index()][client] += 1.0;
+                for t in sent..top {
+                    self.t_r[t][client] += 1.0;
+                }
+                self.t_r[top - 1][client] += (self.p - 1) as f64;
+            }
+            Some(ret) => {
+                // Line 13 + lines 20–25.
+                self.t_c[pool.entry(ret).level.type_index()][client] += 1.0;
+                self.t_r[ret][client] += self.p as f64;
+                for (tau, t) in (ret..top).enumerate() {
+                    self.t_r[t][client] = (self.t_r[t][client] - tau as f64).max(0.0);
+                }
+            }
+            None => {
+                for t in 0..top {
+                    self.t_r[t][client] = (self.t_r[t][client] - (t + 1) as f64).max(0.0);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn curiosity_bonus_is_exactly_inverse_sqrt() {
+    // After n dispatches of one type, T_c = 1 + n and the bonus is
+    // 1/√(1+n) — bit-for-bit, not approximately.
+    let mut rl = RlState::new(3, 2);
+    for n in 0u32..100 {
+        for level in Level::all() {
+            assert_eq!(rl.curiosity(level, 0), 1.0 + n as f64);
+            assert_eq!(
+                rl.curiosity_reward(level, 0).to_bits(),
+                (1.0 / (1.0 + n as f64).sqrt()).to_bits(),
+                "bonus must be exactly 1/sqrt(T_c) at n={n}"
+            );
+        }
+        for level in Level::all() {
+            rl.update_on_dispatch(level, 0);
+        }
+    }
+    // The untouched client never moved.
+    assert_eq!(rl.curiosity_reward(Level::Small, 1), 1.0);
+}
+
+#[test]
+fn full_success_matches_lines_15_18() {
+    let p = pool();
+    let mut rl = RlState::new(p.p(), 1);
+    let sent = 3;
+    rl.update_on_return(&p, sent, Some(sent), 0);
+    // Curiosity for the returned type bumped (line 13).
+    assert_eq!(rl.curiosity(p.entry(sent).level, 0), 2.0);
+    // Sizes below `sent` untouched; `sent..top` gain one point each;
+    // L_1 gains the extra p−1 bonus (lines 15–18).
+    for t in 0..sent {
+        assert_eq!(rl.score(t, 0), 1.0, "index {t}");
+    }
+    for t in sent..p.len() - 1 {
+        assert_eq!(rl.score(t, 0), 2.0, "index {t}");
+    }
+    assert_eq!(rl.score(p.len() - 1, 0), 2.0 + (p.p() - 1) as f64);
+}
+
+#[test]
+fn local_prune_matches_lines_20_25() {
+    let p = pool();
+    let mut rl = RlState::new(p.p(), 1);
+    let (sent, ret) = (p.len() - 1, 2);
+    rl.update_on_return(&p, sent, Some(ret), 0);
+    // The achieved size gains +p, then the growing τ walks upward from
+    // it: score(ret) = 1 + p − 0, score(ret+1) = 1 − 1, score(ret+2) =
+    // 1 − 2 → 0, … (lines 20–25).
+    assert_eq!(rl.score(ret, 0), 1.0 + p.p() as f64);
+    assert_eq!(rl.score(ret + 1, 0), 0.0);
+    for t in ret + 2..p.len() {
+        assert_eq!(rl.score(t, 0), 0.0, "index {t}");
+    }
+    for t in 0..ret {
+        assert_eq!(rl.score(t, 0), 1.0, "index {t}");
+    }
+}
+
+#[test]
+fn reward_cap_is_min_half_rs_times_rc() {
+    let p = pool();
+    let mut rl = RlState::new(p.p(), 2);
+    // Drive client 0's small-model success estimate above the cap.
+    for _ in 0..60 {
+        rl.update_on_return(&p, p.len() - 1, Some(p.len() - 1), 0);
+    }
+    for idx in 0..p.len() {
+        let rs = rl.resource_reward(&p, idx, 0);
+        let rc = rl.curiosity_reward(p.entry(idx).level, 0);
+        let want = rs.min(0.5) * rc;
+        let got = rl.reward(&p, idx, 0);
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "index {idx}: {got} vs {want}"
+        );
+        assert!(got <= 0.5 * rc + f64::EPSILON, "cap exceeded at {idx}");
+    }
+    // A cap of 1.0 disables the clamp for every sub-1 R_s.
+    let uncapped = RlState::new(p.p(), 1).with_reward_cap(1.0);
+    for idx in 0..p.len() {
+        let rs = uncapped.resource_reward(&p, idx, 0);
+        assert!(rs < 1.0, "fresh R_s must be below 1: {rs}");
+        let want = rs * uncapped.curiosity_reward(p.entry(idx).level, 0);
+        assert_eq!(uncapped.reward(&p, idx, 0).to_bits(), want.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any interleaving of dispatches and returns leaves the tables
+    /// exactly where the naive line-by-line transcription of
+    /// Algorithm 1 puts them.
+    #[test]
+    fn table_updates_match_reference_model(
+        ops in prop::collection::vec(
+            // (client, sent index, returned offset; offset 0 ⇒ total
+            // failure, k>0 ⇒ returned index (k−1) clamped to sent).
+            (0usize..4, 0usize..7, 0usize..9),
+            1..40,
+        ),
+    ) {
+        let p = pool();
+        let mut rl = RlState::new(p.p(), 4);
+        let mut reference = ReferenceTables::new(&p, 4);
+        for &(client, sent, ret_draw) in &ops {
+            let level = p.entry(sent).level;
+            rl.update_on_dispatch(level, client);
+            reference.dispatch(level, client);
+            let returned = match ret_draw {
+                0 => None,
+                k => Some((k - 1).min(sent)),
+            };
+            rl.update_on_return(&p, sent, returned, client);
+            reference.ret(&p, sent, returned, client);
+        }
+        for level in Level::all() {
+            for c in 0..4 {
+                prop_assert_eq!(
+                    rl.curiosity(level, c).to_bits(),
+                    reference.t_c[level.type_index()][c].to_bits()
+                );
+            }
+        }
+        for t in 0..p.len() {
+            for c in 0..4 {
+                prop_assert_eq!(
+                    rl.score(t, c).to_bits(),
+                    reference.t_r[t][c].to_bits()
+                );
+            }
+        }
+    }
+
+    /// The combined reward never exceeds the capped product, for any
+    /// training history and any pool index.
+    #[test]
+    fn reward_never_exceeds_cap_times_curiosity(
+        ops in prop::collection::vec((0usize..3, 0usize..7, 0usize..9), 0..30),
+        idx in 0usize..7,
+        client in 0usize..3,
+    ) {
+        let p = pool();
+        let mut rl = RlState::new(p.p(), 3);
+        for &(c, sent, ret_draw) in &ops {
+            rl.update_on_dispatch(p.entry(sent).level, c);
+            let returned = match ret_draw {
+                0 => None,
+                k => Some((k - 1).min(sent)),
+            };
+            rl.update_on_return(&p, sent, returned, c);
+        }
+        let rc = rl.curiosity_reward(p.entry(idx).level, client);
+        let rs = rl.resource_reward(&p, idx, client);
+        let r = rl.reward(&p, idx, client);
+        prop_assert!(r >= 0.0);
+        prop_assert_eq!(r.to_bits(), (rs.min(0.5) * rc).to_bits());
+        prop_assert!(r <= 0.5 * rc);
+    }
+}

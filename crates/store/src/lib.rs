@@ -34,6 +34,7 @@ pub use store::{SnapshotStore, EXTENSION};
 use adaptivefl_core::methods::MethodKind;
 use adaptivefl_core::metrics::RunResult;
 use adaptivefl_core::sim::{RunHooks, Simulation};
+use adaptivefl_core::trace::{Phase, PhaseTimer, TraceEvent};
 use adaptivefl_core::transport::Transport;
 use adaptivefl_core::CoreError;
 
@@ -52,7 +53,16 @@ pub fn run_or_resume(
     store: &mut SnapshotStore,
     every: usize,
 ) -> Result<RunResult, CoreError> {
+    let load_timer = PhaseTimer::start(sim.env().tracer(), Phase::Checkpoint);
     let resume_point = store.latest_valid()?;
+    load_timer.stop(sim.env().tracer());
+    if let Some((_, snap)) = &resume_point {
+        if sim.env().tracer().enabled() {
+            sim.env().tracer().event(TraceEvent::CheckpointLoad {
+                round: snap.completed_rounds,
+            });
+        }
+    }
     let hooks = RunHooks {
         checkpoint_every: every,
         sink: store,

@@ -1,0 +1,725 @@
+//! The JSONL trace codec: one flat JSON object per line.
+//!
+//! Every line carries a `"type"` tag — either `"phase"` (a timed phase
+//! duration) or a [`TraceEvent::kind`] name. Floats are written with
+//! Rust's shortest round-trip formatting, so `encode` → `parse` is
+//! lossless to the bit (proptested in the crate's tests). The parser
+//! is hand-rolled for exactly this flat shape: no nesting, known keys,
+//! string/integer/float/bool/null values.
+
+use std::fmt::Write as _;
+
+use adaptivefl_core::trace::{Phase, TraceEvent};
+use adaptivefl_core::transport::DeliveryStatus;
+
+/// One line of a trace file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceLine {
+    /// A structured event.
+    Event(TraceEvent),
+    /// A phase duration sample.
+    Phase {
+        /// The phase that was timed.
+        phase: Phase,
+        /// Monotonic nanoseconds.
+        nanos: u64,
+    },
+}
+
+/// Codec error: what went wrong and on which input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+// ---------------------------------------------------------------- encode
+
+struct Obj {
+    buf: String,
+}
+
+impl Obj {
+    fn new(kind: &str) -> Self {
+        let mut buf = String::with_capacity(96);
+        buf.push_str("{\"type\":\"");
+        buf.push_str(kind);
+        buf.push('"');
+        Obj { buf }
+    }
+
+    fn key(&mut self, k: &str) {
+        self.buf.push(',');
+        self.buf.push('"');
+        self.buf.push_str(k);
+        self.buf.push_str("\":");
+    }
+
+    fn str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.buf.push('"');
+        for c in v.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\r' => self.buf.push_str("\\r"),
+                '\t' => self.buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    write!(self.buf, "\\u{:04x}", c as u32).expect("write to String")
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+
+    fn u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        write!(self.buf, "{v}").expect("write to String");
+    }
+
+    fn usize(&mut self, k: &str, v: usize) {
+        self.u64(k, v as u64);
+    }
+
+    /// Shortest round-trip float text (`{}` on a finite Rust float
+    /// parses back to the identical bits).
+    fn f32(&mut self, k: &str, v: f32) {
+        self.key(k);
+        if v.is_finite() {
+            write!(self.buf, "{v}").expect("write to String");
+        } else {
+            // Non-finite floats aren't JSON numbers; keep the line
+            // parseable by quoting them.
+            write!(self.buf, "\"{v}\"").expect("write to String");
+        }
+    }
+
+    fn f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        if v.is_finite() {
+            write!(self.buf, "{v}").expect("write to String");
+        } else {
+            write!(self.buf, "\"{v}\"").expect("write to String");
+        }
+    }
+
+    fn bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    fn opt_usize(&mut self, k: &str, v: Option<usize>) {
+        match v {
+            Some(v) => self.usize(k, v),
+            None => {
+                self.key(k);
+                self.buf.push_str("null");
+            }
+        }
+    }
+
+    fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Encodes one line (without trailing newline).
+pub fn encode_line(line: &TraceLine) -> String {
+    match line {
+        TraceLine::Phase { phase, nanos } => {
+            let mut o = Obj::new("phase");
+            o.str("phase", phase.name());
+            o.u64("nanos", *nanos);
+            o.finish()
+        }
+        TraceLine::Event(e) => encode_event(e),
+    }
+}
+
+fn encode_event(e: &TraceEvent) -> String {
+    let mut o = Obj::new(e.kind());
+    match e {
+        TraceEvent::RunStart {
+            method,
+            start_round,
+            rounds,
+        } => {
+            o.str("method", method);
+            o.usize("start_round", *start_round);
+            o.usize("rounds", *rounds);
+        }
+        TraceEvent::RoundStart { round } => o.usize("round", *round),
+        TraceEvent::RoundEnd {
+            round,
+            sim_secs,
+            failures,
+        } => {
+            o.usize("round", *round);
+            o.f64("sim_secs", *sim_secs);
+            o.usize("failures", *failures);
+        }
+        TraceEvent::Dispatch {
+            round,
+            client,
+            tag,
+            params,
+        } => {
+            o.usize("round", *round);
+            o.usize("client", *client);
+            o.usize("tag", *tag);
+            o.u64("params", *params);
+        }
+        TraceEvent::ClientTrain {
+            round,
+            client,
+            tag,
+            loss,
+            samples,
+            macs_per_sample,
+        } => {
+            o.usize("round", *round);
+            o.usize("client", *client);
+            o.usize("tag", *tag);
+            o.f32("loss", *loss);
+            o.usize("samples", *samples);
+            o.u64("macs_per_sample", *macs_per_sample);
+        }
+        TraceEvent::Collect {
+            round,
+            client,
+            status,
+            up_params,
+        } => {
+            o.usize("round", *round);
+            o.usize("client", *client);
+            o.str("status", status);
+            o.u64("up_params", *up_params);
+        }
+        TraceEvent::LayerCoverage {
+            round,
+            layer,
+            covered,
+            total,
+            uploads,
+        } => {
+            o.usize("round", *round);
+            o.str("layer", layer);
+            o.u64("covered", *covered);
+            o.u64("total", *total);
+            o.usize("uploads", *uploads);
+        }
+        TraceEvent::RlDispatch {
+            round,
+            client,
+            level,
+        } => {
+            o.usize("round", *round);
+            o.usize("client", *client);
+            o.usize("level", *level);
+        }
+        TraceEvent::RlReturn {
+            round,
+            client,
+            sent,
+            returned,
+        } => {
+            o.usize("round", *round);
+            o.usize("client", *client);
+            o.usize("sent", *sent);
+            o.opt_usize("returned", *returned);
+        }
+        TraceEvent::Comm {
+            round,
+            client,
+            bytes_down,
+            bytes_up,
+            status,
+            straggled,
+        } => {
+            o.usize("round", *round);
+            o.usize("client", *client);
+            o.u64("bytes_down", *bytes_down);
+            o.u64("bytes_up", *bytes_up);
+            o.str("status", status);
+            o.bool("straggled", *straggled);
+        }
+        TraceEvent::CheckpointSave { round } => o.usize("round", *round),
+        TraceEvent::CheckpointLoad { round } => o.usize("round", *round),
+        TraceEvent::Eval { round, full } => {
+            o.usize("round", *round);
+            o.f32("full", *full);
+        }
+    }
+    o.finish()
+}
+
+// ----------------------------------------------------------------- parse
+
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    Str(String),
+    /// Raw number token, parsed lazily at field extraction.
+    Num(String),
+    Bool(bool),
+    Null,
+}
+
+struct Fields(Vec<(String, Val)>);
+
+impl Fields {
+    fn get(&self, k: &str) -> Result<&Val, ParseError> {
+        self.0
+            .iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v)
+            .ok_or_else(|| ParseError(format!("missing field {k:?}")))
+    }
+
+    fn str(&self, k: &str) -> Result<&str, ParseError> {
+        match self.get(k)? {
+            Val::Str(s) => Ok(s),
+            v => err(format!("field {k:?}: expected string, got {v:?}")),
+        }
+    }
+
+    fn u64(&self, k: &str) -> Result<u64, ParseError> {
+        match self.get(k)? {
+            Val::Num(raw) => raw
+                .parse()
+                .map_err(|_| ParseError(format!("field {k:?}: bad integer {raw:?}"))),
+            v => err(format!("field {k:?}: expected number, got {v:?}")),
+        }
+    }
+
+    fn usize(&self, k: &str) -> Result<usize, ParseError> {
+        Ok(self.u64(k)? as usize)
+    }
+
+    fn f32(&self, k: &str) -> Result<f32, ParseError> {
+        // Non-finite floats were quoted on encode.
+        let raw = match self.get(k)? {
+            Val::Num(raw) => raw,
+            Val::Str(s) => s,
+            v => return err(format!("field {k:?}: expected float, got {v:?}")),
+        };
+        raw.parse()
+            .map_err(|_| ParseError(format!("field {k:?}: bad float {raw:?}")))
+    }
+
+    fn f64(&self, k: &str) -> Result<f64, ParseError> {
+        let raw = match self.get(k)? {
+            Val::Num(raw) => raw,
+            Val::Str(s) => s,
+            v => return err(format!("field {k:?}: expected float, got {v:?}")),
+        };
+        raw.parse()
+            .map_err(|_| ParseError(format!("field {k:?}: bad float {raw:?}")))
+    }
+
+    fn bool(&self, k: &str) -> Result<bool, ParseError> {
+        match self.get(k)? {
+            Val::Bool(b) => Ok(*b),
+            v => err(format!("field {k:?}: expected bool, got {v:?}")),
+        }
+    }
+
+    fn opt_usize(&self, k: &str) -> Result<Option<usize>, ParseError> {
+        match self.get(k)? {
+            Val::Null => Ok(None),
+            Val::Num(_) => Ok(Some(self.usize(k)?)),
+            v => err(format!("field {k:?}: expected number or null, got {v:?}")),
+        }
+    }
+}
+
+struct Lexer<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(s: &'a str) -> Self {
+        Lexer {
+            s: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && (self.s[self.i] as char).is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.s.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            err(format!("expected {:?} at byte {}", c as char, self.i))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.s.get(self.i) else {
+                return err("unterminated string");
+            };
+            self.i += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.s.get(self.i) else {
+                        return err("dangling escape");
+                    };
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.i..self.i + 4)
+                                .ok_or_else(|| ParseError("truncated \\u escape".into()))?;
+                            self.i += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| ParseError("non-ascii \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| ParseError("bad \\u escape".into()))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| ParseError("invalid codepoint".into()))?,
+                            );
+                        }
+                        _ => return err(format!("unknown escape \\{}", esc as char)),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 starting at the byte we consumed.
+                    let start = self.i - 1;
+                    let mut end = self.i;
+                    while end < self.s.len() && (self.s[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.s[start..end])
+                        .map_err(|_| ParseError("invalid utf-8 in string".into()))?;
+                    out.push_str(chunk);
+                    self.i = end;
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Val, ParseError> {
+        match self.peek() {
+            Some(b'"') => Ok(Val::Str(self.string()?)),
+            Some(b't') | Some(b'f') | Some(b'n') => {
+                let start = self.i;
+                while self.i < self.s.len() && self.s[self.i].is_ascii_alphabetic() {
+                    self.i += 1;
+                }
+                match &self.s[start..self.i] {
+                    b"true" => Ok(Val::Bool(true)),
+                    b"false" => Ok(Val::Bool(false)),
+                    b"null" => Ok(Val::Null),
+                    other => err(format!(
+                        "unknown literal {:?}",
+                        String::from_utf8_lossy(other)
+                    )),
+                }
+            }
+            Some(_) => {
+                let start = self.i;
+                while self.i < self.s.len() && !matches!(self.s[self.i], b',' | b'}') {
+                    self.i += 1;
+                }
+                let raw = std::str::from_utf8(&self.s[start..self.i])
+                    .map_err(|_| ParseError("invalid utf-8 in number".into()))?
+                    .trim();
+                if raw.is_empty() {
+                    err("empty value")
+                } else {
+                    Ok(Val::Num(raw.to_string()))
+                }
+            }
+            None => err("unexpected end of line"),
+        }
+    }
+
+    fn object(&mut self) -> Result<Fields, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Fields(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    break;
+                }
+                _ => return err("expected ',' or '}'"),
+            }
+        }
+        self.skip_ws();
+        if self.i != self.s.len() {
+            return err("trailing garbage after object");
+        }
+        Ok(Fields(fields))
+    }
+}
+
+fn status_from_name(name: &str) -> Result<&'static str, ParseError> {
+    use DeliveryStatus::*;
+    for s in [Delivered, TrainingFailed, Dropped, Late, Crashed] {
+        let n = adaptivefl_core::trace::status_name(s);
+        if n == name {
+            return Ok(n);
+        }
+    }
+    err(format!("unknown delivery status {name:?}"))
+}
+
+/// Parses one line previously produced by [`encode_line`].
+pub fn parse_line(line: &str) -> Result<TraceLine, ParseError> {
+    let f = Lexer::new(line).object()?;
+    let kind = f.str("type")?.to_string();
+    let event = match kind.as_str() {
+        "phase" => {
+            let name = f.str("phase")?;
+            let phase = Phase::from_name(name)
+                .ok_or_else(|| ParseError(format!("unknown phase {name:?}")))?;
+            return Ok(TraceLine::Phase {
+                phase,
+                nanos: f.u64("nanos")?,
+            });
+        }
+        "run_start" => TraceEvent::RunStart {
+            method: f.str("method")?.to_string(),
+            start_round: f.usize("start_round")?,
+            rounds: f.usize("rounds")?,
+        },
+        "round_start" => TraceEvent::RoundStart {
+            round: f.usize("round")?,
+        },
+        "round_end" => TraceEvent::RoundEnd {
+            round: f.usize("round")?,
+            sim_secs: f.f64("sim_secs")?,
+            failures: f.usize("failures")?,
+        },
+        "dispatch" => TraceEvent::Dispatch {
+            round: f.usize("round")?,
+            client: f.usize("client")?,
+            tag: f.usize("tag")?,
+            params: f.u64("params")?,
+        },
+        "client_train" => TraceEvent::ClientTrain {
+            round: f.usize("round")?,
+            client: f.usize("client")?,
+            tag: f.usize("tag")?,
+            loss: f.f32("loss")?,
+            samples: f.usize("samples")?,
+            macs_per_sample: f.u64("macs_per_sample")?,
+        },
+        "collect" => TraceEvent::Collect {
+            round: f.usize("round")?,
+            client: f.usize("client")?,
+            status: status_from_name(f.str("status")?)?,
+            up_params: f.u64("up_params")?,
+        },
+        "layer_coverage" => TraceEvent::LayerCoverage {
+            round: f.usize("round")?,
+            layer: f.str("layer")?.to_string(),
+            covered: f.u64("covered")?,
+            total: f.u64("total")?,
+            uploads: f.usize("uploads")?,
+        },
+        "rl_dispatch" => TraceEvent::RlDispatch {
+            round: f.usize("round")?,
+            client: f.usize("client")?,
+            level: f.usize("level")?,
+        },
+        "rl_return" => TraceEvent::RlReturn {
+            round: f.usize("round")?,
+            client: f.usize("client")?,
+            sent: f.usize("sent")?,
+            returned: f.opt_usize("returned")?,
+        },
+        "comm" => TraceEvent::Comm {
+            round: f.usize("round")?,
+            client: f.usize("client")?,
+            bytes_down: f.u64("bytes_down")?,
+            bytes_up: f.u64("bytes_up")?,
+            status: status_from_name(f.str("status")?)?,
+            straggled: f.bool("straggled")?,
+        },
+        "checkpoint_save" => TraceEvent::CheckpointSave {
+            round: f.usize("round")?,
+        },
+        "checkpoint_load" => TraceEvent::CheckpointLoad {
+            round: f.usize("round")?,
+        },
+        "eval" => TraceEvent::Eval {
+            round: f.usize("round")?,
+            full: f.f32("full")?,
+        },
+        other => return err(format!("unknown line type {other:?}")),
+    };
+    Ok(TraceLine::Event(event))
+}
+
+/// Parses a whole trace document (newline-separated; blank lines are
+/// skipped). Returns the first error with its 1-based line number.
+pub fn parse_document(text: &str) -> Result<Vec<TraceLine>, ParseError> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed =
+            parse_line(line).map_err(|e| ParseError(format!("line {}: {}", idx + 1, e.0)))?;
+        out.push(parsed);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_roundtrip() {
+        let lines = [
+            TraceLine::Event(TraceEvent::RunStart {
+                method: "AdaptiveFL+Greed".into(),
+                start_round: 2,
+                rounds: 30,
+            }),
+            TraceLine::Event(TraceEvent::ClientTrain {
+                round: 3,
+                client: 17,
+                tag: 4,
+                loss: 1.234_567_9,
+                samples: 12,
+                macs_per_sample: 987_654_321,
+            }),
+            TraceLine::Event(TraceEvent::RlReturn {
+                round: 1,
+                client: 5,
+                sent: 4,
+                returned: None,
+            }),
+            TraceLine::Event(TraceEvent::RlReturn {
+                round: 1,
+                client: 6,
+                sent: 4,
+                returned: Some(2),
+            }),
+            TraceLine::Event(TraceEvent::Comm {
+                round: 0,
+                client: 9,
+                bytes_down: 1024,
+                bytes_up: 0,
+                status: "dropped",
+                straggled: true,
+            }),
+            TraceLine::Phase {
+                phase: Phase::Aggregate,
+                nanos: u64::MAX,
+            },
+        ];
+        for line in &lines {
+            let text = encode_line(line);
+            assert_eq!(&parse_line(&text).expect(&text), line, "{text}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let line = TraceLine::Event(TraceEvent::LayerCoverage {
+            round: 0,
+            layer: "weird\"layer\\name\n\ttab\u{1}é".into(),
+            covered: 1,
+            total: 2,
+            uploads: 3,
+        });
+        let text = encode_line(&line);
+        assert_eq!(parse_line(&text).unwrap(), line);
+    }
+
+    #[test]
+    fn nonfinite_floats_roundtrip() {
+        for v in [f32::INFINITY, f32::NEG_INFINITY, f32::NAN] {
+            let line = TraceLine::Event(TraceEvent::Eval { round: 0, full: v });
+            let text = encode_line(&line);
+            let TraceLine::Event(TraceEvent::Eval { full, .. }) = parse_line(&text).unwrap() else {
+                panic!("wrong variant from {text}");
+            };
+            assert_eq!(full.to_bits(), v.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "{}",
+            "not json",
+            r#"{"type":"nope"}"#,
+            r#"{"type":"round_start"}"#,
+            r#"{"type":"round_start","round":"three"}"#,
+            r#"{"type":"phase","phase":"warp","nanos":1}"#,
+            r#"{"type":"collect","round":0,"client":1,"status":"exploded","up_params":0}"#,
+            r#"{"type":"round_start","round":1}trailing"#,
+        ] {
+            assert!(parse_line(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn document_reports_line_numbers() {
+        let doc = format!(
+            "{}\n\n{}\nbroken\n",
+            encode_line(&TraceLine::Event(TraceEvent::RoundStart { round: 0 })),
+            encode_line(&TraceLine::Phase {
+                phase: Phase::Round,
+                nanos: 5
+            }),
+        );
+        let e = parse_document(&doc).unwrap_err();
+        assert!(e.0.starts_with("line 4:"), "{e}");
+        let ok = parse_document(&doc[..doc.len() - "broken\n".len()]).unwrap();
+        assert_eq!(ok.len(), 2);
+    }
+}

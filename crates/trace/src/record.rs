@@ -1,0 +1,233 @@
+//! In-memory tracer: captures every event and folds phase durations
+//! into power-of-two-bucket histograms.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use adaptivefl_core::trace::{Phase, TraceEvent, Tracer};
+
+/// A histogram of monotonic durations with power-of-two nanosecond
+/// buckets: bucket `i` counts samples in `[2^i, 2^(i+1))` ns (bucket 0
+/// also holds zero). 64 buckets cover every representable `u64`
+/// duration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurationHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    total_nanos: u64,
+    min_nanos: u64,
+    max_nanos: u64,
+}
+
+impl Default for DurationHistogram {
+    fn default() -> Self {
+        DurationHistogram {
+            buckets: [0; 64],
+            count: 0,
+            total_nanos: 0,
+            min_nanos: u64::MAX,
+            max_nanos: 0,
+        }
+    }
+}
+
+impl DurationHistogram {
+    /// Bucket index for a duration: `floor(log2(nanos))`, 0 for 0.
+    fn bucket_of(nanos: u64) -> usize {
+        (63 - nanos.max(1).leading_zeros()) as usize
+    }
+
+    /// Folds one sample in.
+    pub fn record(&mut self, nanos: u64) {
+        self.buckets[Self::bucket_of(nanos)] += 1;
+        self.count += 1;
+        self.total_nanos = self.total_nanos.saturating_add(nanos);
+        self.min_nanos = self.min_nanos.min(nanos);
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples, nanoseconds (saturating).
+    pub fn total_nanos(&self) -> u64 {
+        self.total_nanos
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min_nanos(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_nanos
+        }
+    }
+
+    /// Largest sample.
+    pub fn max_nanos(&self) -> u64 {
+        self.max_nanos
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean_nanos(&self) -> u64 {
+        self.total_nanos.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The raw power-of-two buckets.
+    pub fn buckets(&self) -> &[u64; 64] {
+        &self.buckets
+    }
+}
+
+#[derive(Default)]
+struct Recording {
+    events: Vec<TraceEvent>,
+    phases: HashMap<Phase, DurationHistogram>,
+}
+
+/// A tracer that keeps everything in memory — the workhorse of tests
+/// and ad-hoc analysis. Thread-safe: client jobs on transport worker
+/// threads append through the same mutex, and event order within one
+/// thread is preserved.
+#[derive(Default)]
+pub struct RecordingTracer {
+    inner: Mutex<Recording>,
+}
+
+impl RecordingTracer {
+    /// An empty recording tracer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of every captured event, in arrival order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().expect("tracer poisoned").events.clone()
+    }
+
+    /// Number of captured events.
+    pub fn event_count(&self) -> usize {
+        self.inner.lock().expect("tracer poisoned").events.len()
+    }
+
+    /// Events matching a predicate.
+    pub fn events_where(&self, pred: impl Fn(&TraceEvent) -> bool) -> Vec<TraceEvent> {
+        self.inner
+            .lock()
+            .expect("tracer poisoned")
+            .events
+            .iter()
+            .filter(|e| pred(e))
+            .cloned()
+            .collect()
+    }
+
+    /// Event counts keyed by [`TraceEvent::kind`], sorted by kind.
+    pub fn counts_by_kind(&self) -> Vec<(&'static str, usize)> {
+        let guard = self.inner.lock().expect("tracer poisoned");
+        let mut map: HashMap<&'static str, usize> = HashMap::new();
+        for e in &guard.events {
+            *map.entry(e.kind()).or_default() += 1;
+        }
+        let mut out: Vec<_> = map.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The duration histogram of one phase (`None` if never timed).
+    pub fn histogram(&self, phase: Phase) -> Option<DurationHistogram> {
+        self.inner
+            .lock()
+            .expect("tracer poisoned")
+            .phases
+            .get(&phase)
+            .cloned()
+    }
+}
+
+impl Tracer for RecordingTracer {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn event(&self, event: TraceEvent) {
+        self.inner
+            .lock()
+            .expect("tracer poisoned")
+            .events
+            .push(event);
+    }
+
+    fn phase(&self, phase: Phase, nanos: u64) {
+        self.inner
+            .lock()
+            .expect("tracer poisoned")
+            .phases
+            .entry(phase)
+            .or_default()
+            .record(nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let mut h = DurationHistogram::default();
+        for n in [0, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            h.record(n);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.min_nanos(), 0);
+        assert_eq!(h.max_nanos(), u64::MAX);
+        // 0 and 1 share bucket 0; 2 and 3 bucket 1; 4 and 7 bucket 2.
+        assert_eq!(h.buckets()[0], 2);
+        assert_eq!(h.buckets()[1], 2);
+        assert_eq!(h.buckets()[2], 2);
+        assert_eq!(h.buckets()[3], 1); // 8
+        assert_eq!(h.buckets()[9], 1); // 1023
+        assert_eq!(h.buckets()[10], 1); // 1024
+        assert_eq!(h.buckets()[63], 1); // u64::MAX
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = DurationHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min_nanos(), 0);
+        assert_eq!(h.max_nanos(), 0);
+        assert_eq!(h.mean_nanos(), 0);
+    }
+
+    #[test]
+    fn recording_tracer_captures_events_and_phases() {
+        let t = RecordingTracer::new();
+        assert!(t.enabled());
+        t.event(TraceEvent::RoundStart { round: 0 });
+        t.event(TraceEvent::RoundStart { round: 1 });
+        t.event(TraceEvent::Eval {
+            round: 1,
+            full: 0.5,
+        });
+        t.phase(Phase::Round, 100);
+        t.phase(Phase::Round, 300);
+        t.phase(Phase::Eval, 50);
+
+        assert_eq!(t.event_count(), 3);
+        assert_eq!(t.counts_by_kind(), vec![("eval", 1), ("round_start", 2)]);
+        let h = t.histogram(Phase::Round).unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.total_nanos(), 400);
+        assert_eq!(h.mean_nanos(), 200);
+        assert!(t.histogram(Phase::Aggregate).is_none());
+        assert_eq!(
+            t.events_where(|e| matches!(e, TraceEvent::RoundStart { .. }))
+                .len(),
+            2
+        );
+    }
+}

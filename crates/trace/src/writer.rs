@@ -1,0 +1,125 @@
+//! [`JsonlTracer`]: streams a run's trace to a `.jsonl` file.
+
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use adaptivefl_core::trace::{Phase, TraceEvent, Tracer};
+
+use crate::jsonl::{encode_line, TraceLine};
+
+/// A tracer that appends one JSON line per signal to a file, buffered.
+///
+/// Writes are best-effort: a full disk or yanked volume must not crash
+/// (or otherwise perturb) the traced run, so I/O errors are swallowed
+/// after the first and surfaced through [`JsonlTracer::flush`] /
+/// [`JsonlTracer::had_errors`]. The buffer is flushed on drop.
+pub struct JsonlTracer {
+    out: Mutex<BufWriter<File>>,
+    path: PathBuf,
+    errored: std::sync::atomic::AtomicBool,
+}
+
+impl JsonlTracer {
+    /// Creates (truncating) the trace file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(&path)?;
+        Ok(JsonlTracer {
+            out: Mutex::new(BufWriter::new(file)),
+            path,
+            errored: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    /// The file this tracer writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether any write has failed so far.
+    pub fn had_errors(&self) -> bool {
+        self.errored.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Flushes buffered lines to disk.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.out.lock().expect("tracer poisoned").flush()
+    }
+
+    fn write_line(&self, line: &TraceLine) {
+        let text = encode_line(line);
+        let mut out = self.out.lock().expect("tracer poisoned");
+        if writeln!(out, "{text}").is_err() {
+            self.errored
+                .store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+}
+
+impl Tracer for JsonlTracer {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn event(&self, event: TraceEvent) {
+        self.write_line(&TraceLine::Event(event));
+    }
+
+    fn phase(&self, phase: Phase, nanos: u64) {
+        self.write_line(&TraceLine::Phase { phase, nanos });
+    }
+}
+
+impl Drop for JsonlTracer {
+    fn drop(&mut self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+/// Reads and parses a `.jsonl` trace file.
+pub fn read_trace(path: impl AsRef<Path>) -> std::io::Result<Vec<TraceLine>> {
+    let text = std::fs::read_to_string(path.as_ref())?;
+    crate::jsonl::parse_document(&text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_tracer_writes_parseable_lines() {
+        let dir = std::env::temp_dir().join(format!("afl-trace-{}", std::process::id()));
+        let path = dir.join("run.jsonl");
+        let tracer = JsonlTracer::create(&path).unwrap();
+        tracer.event(TraceEvent::RoundStart { round: 0 });
+        tracer.phase(Phase::Round, 42);
+        tracer.event(TraceEvent::Eval {
+            round: 0,
+            full: 0.25,
+        });
+        tracer.flush().unwrap();
+        assert!(!tracer.had_errors());
+
+        let lines = read_trace(&path).unwrap();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[1],
+            TraceLine::Phase {
+                phase: Phase::Round,
+                nanos: 42
+            }
+        );
+        drop(tracer);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

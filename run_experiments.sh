@@ -2,17 +2,35 @@
 # Regenerates every table and figure of the paper; logs under results/.
 #
 # Flags are forwarded to every binary: --full (larger configuration),
-# --seed <n>, and --resume <dir>. With --resume each run checkpoints
-# into its own subdirectory of <dir> every few rounds, so rerunning
-# this script after a crash or interruption continues every run from
-# its newest valid snapshot instead of starting over.
+# --seed <n>, --resume <dir>, and --trace <dir>. With --resume each run
+# checkpoints into its own subdirectory of <dir> every few rounds, so
+# rerunning this script after a crash or interruption continues every
+# run from its newest valid snapshot instead of starting over. With
+# --trace each run streams a .jsonl trace into <dir>, and the script
+# renders a combined trace_report at the end.
 set -u
 cd /root/repo
 mkdir -p results/logs
+
+# Detect --trace <dir> among the forwarded flags so we can render the
+# report afterwards; the flag itself still reaches every binary.
+trace_dir=""
+prev=""
+for a in "$@"; do
+    if [ "$prev" = "--trace" ]; then
+        trace_dir="$a"
+    fi
+    prev="$a"
+done
+
 for exp in table1 table2 table3 table4 fig2 fig3 fig4 fig5 fig6 ablation; do
     echo "=== running $exp ($(date +%H:%M:%S)) ==="
     ./target/release/$exp "$@" 2>&1 | tee results/logs/$exp.log
 done
 echo "=== rendering summary ==="
 ./target/release/summarize "$@" 2>&1 | tee results/logs/summarize.log
+if [ -n "$trace_dir" ]; then
+    echo "=== rendering trace report ==="
+    ./target/release/trace_report "$trace_dir" 2>&1 | tee results/logs/trace_report.log
+fi
 echo "=== all experiments done ($(date +%H:%M:%S)) ==="

@@ -67,3 +67,5 @@ pub use adaptivefl_nn as nn;
 pub use adaptivefl_store as store;
 /// Tensor substrate.
 pub use adaptivefl_tensor as tensor;
+/// Structured tracing: recording/JSONL tracers and trace reports.
+pub use adaptivefl_trace as trace;

@@ -1,0 +1,124 @@
+//! Golden fingerprint regression suite: the 9-decimal `RunResult`
+//! fingerprint of every method kind under the quick-test recipe is
+//! committed under `tests/goldens/` and diffed here. Any change to the
+//! numerics — initialisation, selection, aggregation, transport
+//! faults — shows up as a golden mismatch.
+//!
+//! To regenerate after an *intentional* numerical change:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test golden_fingerprints
+//! ```
+
+use std::path::PathBuf;
+
+use adaptivefl::comm::{FaultPlan, SimTransport};
+use adaptivefl::core::methods::MethodKind;
+use adaptivefl::core::select::SelectionStrategy;
+use adaptivefl::core::sim::{SimConfig, Simulation};
+use adaptivefl::data::{Partition, SynthSpec};
+
+/// All seven method kinds of the comparison, in a fixed order.
+fn all_kinds() -> [MethodKind; 7] {
+    [
+        MethodKind::AdaptiveFl,
+        MethodKind::AdaptiveFlGreedy,
+        MethodKind::AdaptiveFlVariant(SelectionStrategy::Random),
+        MethodKind::AllLarge,
+        MethodKind::Decoupled,
+        MethodKind::HeteroFl,
+        MethodKind::ScaleFl,
+    ]
+}
+
+fn prepare() -> Simulation {
+    let cfg = SimConfig::quick_test(900);
+    let mut spec = SynthSpec::test_spec(4);
+    spec.input = (3, 8, 8);
+    Simulation::prepare(&cfg, &spec, Partition::Dirichlet(0.5))
+}
+
+/// The faulty transport of the goldens: every fault class enabled, two
+/// worker threads (results are thread-count invariant).
+fn faulty_transport() -> SimTransport {
+    SimTransport::new().with_threads(2).with_faults(FaultPlan {
+        upload_drop: 0.15,
+        straggler_prob: 0.2,
+        crash_prob: 0.1,
+        truncate_prob: 0.05,
+        seed: 7,
+        ..Default::default()
+    })
+}
+
+fn slug(kind: MethodKind) -> String {
+    format!("{kind}")
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens")
+}
+
+fn check_golden(kind: MethodKind, transport: &str, fingerprint: &str) {
+    let path = goldens_dir().join(format!("{}-{transport}.txt", slug(kind)));
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(goldens_dir()).expect("create goldens dir");
+        std::fs::write(&path, fingerprint).expect("write golden");
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with UPDATE_GOLDENS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        fingerprint,
+        want,
+        "fingerprint of {kind} over {transport} transport drifted from {}\n\
+         (if the numerical change is intentional, regenerate with UPDATE_GOLDENS=1)",
+        path.display()
+    );
+}
+
+#[test]
+fn goldens_match_perfect_transport() {
+    for kind in all_kinds() {
+        let fp = prepare().run(kind).fingerprint();
+        check_golden(kind, "perfect", &fp);
+    }
+}
+
+#[test]
+fn goldens_match_faulty_transport() {
+    for kind in all_kinds() {
+        let fp = prepare()
+            .run_with_transport(kind, &mut faulty_transport())
+            .fingerprint();
+        check_golden(kind, "faulty", &fp);
+    }
+}
+
+#[test]
+fn fingerprints_have_nine_decimals_and_method_names() {
+    let fp = prepare().run(MethodKind::AdaptiveFl).fingerprint();
+    assert!(fp.starts_with("AdaptiveFL r0 "), "{fp}");
+    for line in fp.lines() {
+        let loss = line
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix("loss=").or(tok.strip_prefix("full=")))
+            .unwrap_or_else(|| panic!("no loss/full field in {line}"));
+        let decimals = loss.split('.').nth(1).map_or(0, str::len);
+        assert_eq!(decimals, 9, "{line}");
+    }
+}

@@ -1,12 +1,16 @@
 //! Invariants lifted directly from the paper: Table 1 numbers, pool
 //! structure, capacity gating, and RL behaviour over a real run.
 
+use adaptivefl::core::aggregate::{aggregate, Upload};
 use adaptivefl::core::methods::MethodKind;
 use adaptivefl::core::pool::{Level, ModelPool, DEFAULT_RATIOS};
 use adaptivefl::core::sim::{SimConfig, Simulation};
 use adaptivefl::data::{Partition, SynthSpec};
 use adaptivefl::device::ResourceDynamics;
 use adaptivefl::models::ModelConfig;
+use adaptivefl::nn::ParamMap;
+use adaptivefl::tensor::Tensor;
+use proptest::prelude::*;
 
 /// Table 1 of the paper, exactly: level sizes and ratios of the VGG16
 /// split (± rounding of the width quantisation).
@@ -147,6 +151,96 @@ fn client_pruning_respects_capacity_and_nesting() {
                 assert!(fit.params <= capacity);
                 assert!(fit.index <= received);
                 assert!(fit.plan.nested_in(&pool.entry(received).plan));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Client-side pruning is *maximal*: for any received entry and
+    /// capacity, `largest_fitting` returns the biggest nested entry
+    /// that fits — no admissible larger choice exists (paper §3.2).
+    #[test]
+    fn largest_fitting_is_maximal(
+        p in 1usize..4,
+        received in 0usize..9,
+        cap_permille in 0u64..1100,
+    ) {
+        let cfg = ModelConfig::tiny(10);
+        let pool = ModelPool::split(&cfg, p, DEFAULT_RATIOS);
+        let received = received % pool.len();
+        let capacity = pool.largest().params * cap_permille / 1000;
+        let fit = pool.largest_fitting(received, capacity);
+        let received_plan = &pool.entry(received).plan;
+        match fit {
+            Some(e) => {
+                prop_assert!(e.params <= capacity);
+                prop_assert!(e.index <= received);
+                prop_assert!(e.plan.nested_in(received_plan));
+                // Maximality: every admissible entry above it misses
+                // at least one constraint.
+                for bigger in pool.entries()[e.index + 1..=received].iter() {
+                    prop_assert!(
+                        bigger.params > capacity || !bigger.plan.nested_in(received_plan),
+                        "{} was admissible but not chosen over {}",
+                        bigger.name(), e.name()
+                    );
+                }
+            }
+            None => {
+                for cand in pool.entries()[..=received].iter() {
+                    prop_assert!(
+                        cand.params > capacity || !cand.plan.nested_in(received_plan),
+                        "{} fits yet None was returned", cand.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Algorithm 2 at the facade: aggregating nested constant uploads
+    /// leaves every element within the [min, max] envelope of its
+    /// contributors, and elements beyond all uploads untouched.
+    #[test]
+    fn aggregation_respects_contributor_envelope(
+        n in 2usize..12,
+        init in -5.0f32..5.0,
+        draws in prop::collection::vec(
+            (1usize..12, -3.0f32..3.0, 0.5f32..20.0),
+            1..5,
+        ),
+    ) {
+        let mut global = ParamMap::new();
+        global.insert("w", Tensor::full(&[n], init));
+        let uploads: Vec<Upload> = draws
+            .iter()
+            .map(|&(k, v, w)| {
+                let len = 1 + (k - 1) % n;
+                let mut m = ParamMap::new();
+                m.insert("w", Tensor::full(&[len], v));
+                Upload { params: m, weight: w }
+            })
+            .collect();
+        aggregate(&mut global, &uploads);
+        let after = global.get("w").unwrap();
+        for i in 0..n {
+            let contributors: Vec<f32> = draws
+                .iter()
+                .filter(|&&(k, _, _)| i < 1 + (k - 1) % n)
+                .map(|&(_, v, _)| v)
+                .collect();
+            let got = after.as_slice()[i];
+            if contributors.is_empty() {
+                prop_assert_eq!(got.to_bits(), init.to_bits(), "element {}", i);
+            } else {
+                let lo = contributors.iter().copied().fold(f32::INFINITY, f32::min);
+                let hi = contributors.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                prop_assert!(
+                    got >= lo - 1e-4 && got <= hi + 1e-4,
+                    "element {}: {} outside envelope [{}, {}]", i, got, lo, hi
+                );
             }
         }
     }
