@@ -1,0 +1,253 @@
+//! CI gate + perf record for the blocked matmul kernels.
+//!
+//! Times the reference (naive) kernels against the register-blocked
+//! ones over a ladder of shapes, verifies bit-identity per shape, then
+//! times one heterogeneous aggregation round and one full local
+//! training step at the quick-test scale. Results land in a JSON
+//! report (default `BENCH_KERNELS.json`, override with `--out PATH`).
+//!
+//! Exits non-zero when the blocked kernel is not measurably faster
+//! than the reference on the largest matmul shape
+//! (`speedup < MIN_SPEEDUP`) — the kernels exist to be faster; if they
+//! regress to parity the optimisation is dead code.
+//!
+//! Takes the minimum over several repetitions to shed scheduler noise.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use adaptivefl_core::aggregate::{aggregate_with_scratch, Upload};
+use adaptivefl_core::pool::{ModelPool, DEFAULT_RATIOS};
+use adaptivefl_core::trace::NoopTracer;
+use adaptivefl_core::trainer::LocalTrainer;
+use adaptivefl_models::ModelConfig;
+use adaptivefl_nn::layer::LayerExt;
+use adaptivefl_tensor::ops::{
+    matmul_at_b_blocked, matmul_at_b_reference, matmul_blocked, matmul_reference,
+};
+use adaptivefl_tensor::{rng, Scratch, Tensor};
+use serde::Serialize;
+
+/// Gate: the largest shape must beat the reference by at least this.
+const MIN_SPEEDUP: f64 = 1.25;
+const REPS: usize = 7;
+
+#[derive(Debug, Serialize)]
+struct ShapeReport {
+    op: String,
+    m: usize,
+    k: usize,
+    n: usize,
+    reference_ns: u64,
+    blocked_ns: u64,
+    speedup: f64,
+    bit_identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    min_speedup_gate: f64,
+    largest_shape_speedup: f64,
+    shapes: Vec<ShapeReport>,
+    aggregation_round_us: u64,
+    training_step_ms: u64,
+}
+
+/// Deterministic pseudo-random matrix (no RNG dependency in the hot
+/// loop; same generator as the differential tests).
+fn matrix(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect();
+    Tensor::from_vec(data, &[rows, cols])
+}
+
+fn time_min<F: FnMut() -> Tensor>(mut f: F) -> (u64, Tensor) {
+    let mut best = u64::MAX;
+    let mut out = f(); // warm-up + canonical result
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let r = std::hint::black_box(f());
+        best = best.min(start.elapsed().as_nanos() as u64);
+        out = r;
+    }
+    (best, out)
+}
+
+fn bench_shape(op: &str, m: usize, k: usize, n: usize) -> ShapeReport {
+    // `matmul` takes a [m,k]·[k,n]; `matmul_at_b` takes aᵀ as [k,m].
+    let (a, b, reference, blocked): (Tensor, Tensor, fn(&Tensor, &Tensor) -> Tensor, _) = match op {
+        "matmul" => (
+            matrix(m, k, 11 + m as u64),
+            matrix(k, n, 13 + n as u64),
+            matmul_reference,
+            matmul_blocked as fn(&Tensor, &Tensor) -> Tensor,
+        ),
+        "matmul_at_b" => (
+            matrix(k, m, 17 + m as u64),
+            matrix(k, n, 19 + n as u64),
+            matmul_at_b_reference,
+            matmul_at_b_blocked,
+        ),
+        other => panic!("unknown op {other}"),
+    };
+    let (reference_ns, want) = time_min(|| reference(&a, &b));
+    let (blocked_ns, got) = time_min(|| blocked(&a, &b));
+    let bit_identical = want
+        .as_slice()
+        .iter()
+        .zip(got.as_slice())
+        .all(|(x, y)| x.to_bits() == y.to_bits());
+    ShapeReport {
+        op: op.to_string(),
+        m,
+        k,
+        n,
+        reference_ns,
+        blocked_ns,
+        speedup: reference_ns as f64 / blocked_ns.max(1) as f64,
+        bit_identical,
+    }
+}
+
+/// One heterogeneous aggregation round: a 3-level pool's submodels
+/// uploaded into the full global model, drawing accumulators from a
+/// warm arena (the steady-state shape of a long run).
+fn bench_aggregation_round() -> u64 {
+    let cfg = ModelConfig::tiny(10);
+    let pool = ModelPool::split(&cfg, 3, DEFAULT_RATIOS);
+    let mut r = rng::seeded(60);
+    let global = cfg.build(&cfg.full_plan(), &mut r).param_map();
+    let uploads: Vec<Upload> = (0..pool.entries().len())
+        .map(|i| Upload {
+            params: pool.prune_plan(i).extract(&global),
+            weight: 10.0 + i as f32,
+        })
+        .collect();
+    let scratch = Scratch::new();
+    let mut best = u64::MAX;
+    for _ in 0..=REPS {
+        let mut g = global.clone();
+        let start = Instant::now();
+        aggregate_with_scratch(
+            std::hint::black_box(&mut g),
+            &uploads,
+            &NoopTracer,
+            0,
+            &scratch,
+        );
+        best = best.min(start.elapsed().as_micros() as u64);
+    }
+    best
+}
+
+/// One full local training session (LocalTrainer::fast) on a small
+/// synthetic shard — the per-client unit of work of every round.
+fn bench_training_step() -> u64 {
+    use adaptivefl_data::{SynthSpec, SynthTask};
+    let mut spec = SynthSpec::test_spec(4);
+    spec.input = (3, 8, 8);
+    let mut r = rng::seeded(61);
+    let task = SynthTask::new(spec, 2, &mut r);
+    let data = task.dataset_uniform(64, &mut r);
+    let cfg = ModelConfig::tiny(4);
+    let trainer = LocalTrainer::fast();
+    let scratch = Scratch::new();
+    let mut best = u64::MAX;
+    for rep in 0..=3u64 {
+        let mut net = cfg.build(&cfg.full_plan(), &mut rng::seeded(62));
+        let mut train_rng = rng::seeded(63 + rep);
+        let start = Instant::now();
+        let loss = trainer.train_with_scratch(
+            std::hint::black_box(&mut net),
+            &data,
+            &mut train_rng,
+            &scratch,
+        );
+        best = best.min(start.elapsed().as_millis() as u64);
+        assert!(loss.is_finite(), "training diverged");
+    }
+    best
+}
+
+fn main() -> ExitCode {
+    let mut out = String::from("BENCH_KERNELS.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = args.next().expect("--out requires a path"),
+            other => {
+                eprintln!("unknown argument {other} (usage: kernel_bench [--out PATH])");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let ladder: &[(usize, usize, usize)] = &[
+        (16, 16, 16),
+        (32, 48, 32),
+        (64, 64, 64),
+        (96, 33, 128), // k not a multiple of anything: ragged edges
+        (128, 128, 128),
+        (256, 256, 256),
+    ];
+    let mut shapes = Vec::new();
+    for op in ["matmul", "matmul_at_b"] {
+        for &(m, k, n) in ladder {
+            let rep = bench_shape(op, m, k, n);
+            println!(
+                "{op} {m}x{k}x{n}: reference {:.2}ms, blocked {:.2}ms, speedup {:.2}x{}",
+                rep.reference_ns as f64 / 1e6,
+                rep.blocked_ns as f64 / 1e6,
+                rep.speedup,
+                if rep.bit_identical {
+                    ""
+                } else {
+                    "  ** BIT DRIFT **"
+                },
+            );
+            shapes.push(rep);
+        }
+    }
+
+    let aggregation_round_us = bench_aggregation_round();
+    println!("aggregation round (tiny, 3 uploads): {aggregation_round_us}us");
+    let training_step_ms = bench_training_step();
+    println!("local training session (tiny, 64 samples): {training_step_ms}ms");
+
+    let (largest, drift) = {
+        let big = shapes
+            .iter()
+            .find(|s| s.op == "matmul" && (s.m, s.k, s.n) == (256, 256, 256))
+            .expect("largest shape benched");
+        (big.speedup, shapes.iter().any(|s| !s.bit_identical))
+    };
+
+    let report = Report {
+        min_speedup_gate: MIN_SPEEDUP,
+        largest_shape_speedup: largest,
+        shapes,
+        aggregation_round_us,
+        training_step_ms,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, json + "\n").unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
+
+    if drift {
+        eprintln!("FAIL: blocked kernel output drifted bitwise from the reference");
+        return ExitCode::FAILURE;
+    }
+    if largest < MIN_SPEEDUP {
+        eprintln!("FAIL: largest-shape speedup {largest:.2}x is below the {MIN_SPEEDUP:.2}x gate");
+        return ExitCode::FAILURE;
+    }
+    println!("PASS: largest-shape speedup {largest:.2}x >= {MIN_SPEEDUP:.2}x");
+    ExitCode::SUCCESS
+}

@@ -6,7 +6,7 @@
 //! elements keep their previous global value (line 14 of Algorithm 2).
 
 use adaptivefl_nn::ParamMap;
-use adaptivefl_tensor::{SliceSpec, Tensor};
+use adaptivefl_tensor::{Scratch, SliceSpec};
 
 use crate::trace::{TraceEvent, Tracer};
 
@@ -46,21 +46,35 @@ pub fn aggregate_traced(
     tracer: &dyn Tracer,
     round: usize,
 ) {
+    aggregate_with_scratch(global, uploads, tracer, round, &Scratch::new());
+}
+
+/// [`aggregate_traced`] drawing the per-parameter `acc`/`cnt`
+/// accumulators from a [`Scratch`] arena, so a long run allocates them
+/// once instead of twice per parameter per round. The arithmetic is
+/// identical — the arena hands out zeroed buffers, exactly what the
+/// per-round `Tensor::zeros` allocations previously produced.
+pub fn aggregate_with_scratch(
+    global: &mut ParamMap,
+    uploads: &[Upload],
+    tracer: &dyn Tracer,
+    round: usize,
+    scratch: &Scratch,
+) {
     if uploads.is_empty() {
         return;
     }
     for u in uploads {
         assert!(u.weight > 0.0, "upload weight must be positive");
     }
-    // Accumulate per parameter name.
-    let names: Vec<String> = global.names().map(String::from).collect();
-    for name in names {
-        let g = global.get_mut(&name).expect("name from global");
-        let mut acc = Tensor::zeros(g.shape());
-        let mut cnt = Tensor::zeros(g.shape());
+    // Accumulate per parameter name, iterating the map in place (the
+    // name-ordered walk is deterministic; no name-list clone needed).
+    for (name, g) in global.iter_mut() {
+        let mut acc = scratch.take_tensor(g.shape());
+        let mut cnt = scratch.take_tensor(g.shape());
         let mut contributors = 0usize;
         for u in uploads {
-            if let Some(block) = u.params.get(&name) {
+            if let Some(block) = u.params.get(name) {
                 let spec = SliceSpec::new(block.shape().to_vec());
                 assert!(
                     spec.fits_in(g.shape()),
@@ -72,34 +86,36 @@ pub fn aggregate_traced(
                 contributors += 1;
             }
         }
-        if contributors == 0 {
-            continue;
-        }
-        let gv = g.as_mut_slice();
-        let av = acc.as_slice();
-        let cv = cnt.as_slice();
-        for i in 0..gv.len() {
-            if cv[i] > 0.0 {
-                gv[i] = av[i] / cv[i];
+        if contributors > 0 {
+            let gv = g.as_mut_slice();
+            let av = acc.as_slice();
+            let cv = cnt.as_slice();
+            for i in 0..gv.len() {
+                if cv[i] > 0.0 {
+                    gv[i] = av[i] / cv[i];
+                }
+                // else: keep the previous global value (Algorithm 2, l.14).
             }
-            // else: keep the previous global value (Algorithm 2, l.14).
+            if tracer.enabled() {
+                let covered = cv.iter().filter(|&&c| c > 0.0).count() as u64;
+                tracer.event(TraceEvent::LayerCoverage {
+                    round,
+                    layer: name.to_string(),
+                    covered,
+                    total: cv.len() as u64,
+                    uploads: contributors,
+                });
+            }
         }
-        if tracer.enabled() {
-            let covered = cv.iter().filter(|&&c| c > 0.0).count() as u64;
-            tracer.event(TraceEvent::LayerCoverage {
-                round,
-                layer: name,
-                covered,
-                total: cv.len() as u64,
-                uploads: contributors,
-            });
-        }
+        scratch.recycle_tensor(acc);
+        scratch.recycle_tensor(cnt);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adaptivefl_tensor::Tensor;
 
     fn map(pairs: &[(&str, Tensor)]) -> ParamMap {
         let mut m = ParamMap::new();
@@ -185,6 +201,41 @@ mod tests {
         let before = global.clone();
         aggregate(&mut global, &[]);
         assert_eq!(global, before);
+    }
+
+    #[test]
+    fn dirty_scratch_arena_does_not_perturb_results() {
+        use crate::trace::NoopTracer;
+        let build = || {
+            map(&[
+                ("a", Tensor::full(&[3, 3], 7.0)),
+                ("b", Tensor::zeros(&[4])),
+            ])
+        };
+        let uploads = vec![
+            Upload {
+                params: map(&[("a", Tensor::full(&[2, 2], 1.0)), ("b", Tensor::ones(&[2]))]),
+                weight: 5.0,
+            },
+            Upload {
+                params: map(&[("a", Tensor::full(&[3, 3], 4.0))]),
+                weight: 3.0,
+            },
+        ];
+        let mut fresh = build();
+        aggregate(&mut fresh, &uploads);
+        // Salt the arena with dirty buffers of the exact sizes the
+        // aggregation will request; results must not change.
+        let scratch = Scratch::new();
+        for len in [9, 9, 4, 4] {
+            let mut b = scratch.take(len);
+            b.fill(1234.5);
+            scratch.recycle(b);
+        }
+        let mut pooled = build();
+        aggregate_with_scratch(&mut pooled, &uploads, &NoopTracer, 0, &scratch);
+        assert_eq!(fresh, pooled);
+        assert!(scratch.reuses() > 0, "arena was never reused");
     }
 
     #[test]

@@ -6,12 +6,11 @@ use adaptivefl_nn::ParamMap;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::aggregate::{aggregate_traced, Upload};
+use crate::aggregate::{aggregate_with_scratch, Upload};
 use crate::checkpoint::{Checkpointable, MethodState};
 use crate::error::CoreError;
 use crate::methods::FlMethod;
 use crate::metrics::{EvalRecord, RoundRecord};
-use crate::prune::extract_submodel;
 use crate::rl::RlState;
 use crate::select::{select_client, SelectionStrategy};
 use crate::sim::Env;
@@ -169,11 +168,14 @@ impl FlMethod for AdaptiveFl {
                     train_timer.stop(env.tracer());
                     return LocalOutcome::failure();
                 };
-                let sub = extract_submodel(global, &env.cfg.model, &fit.plan);
+                let sub = pool.prune_plan(fit.index).extract(global);
                 let mut net = env.cfg.model.build(&fit.plan, rng);
                 net.load_param_map(&sub);
                 let data = env.data.client(c);
-                let loss = env.cfg.local.train(&mut net, data, rng);
+                let loss = env
+                    .cfg
+                    .local
+                    .train_with_scratch(&mut net, data, rng, &env.scratch);
                 let macs = cost_of(
                     &env.cfg.model.full_blueprint(&fit.plan),
                     env.cfg.model.input,
@@ -268,7 +270,13 @@ impl FlMethod for AdaptiveFl {
         }
         collect_timer.stop(env.tracer());
         let agg_timer = PhaseTimer::start(env.tracer(), Phase::Aggregate);
-        aggregate_traced(&mut self.global, &uploads, env.tracer(), round);
+        aggregate_with_scratch(
+            &mut self.global,
+            &uploads,
+            env.tracer(),
+            round,
+            &env.scratch,
+        );
         agg_timer.stop(env.tracer());
 
         RoundRecord {
@@ -289,7 +297,7 @@ impl FlMethod for AdaptiveFl {
     fn evaluate(&mut self, env: &Env, round: usize) -> EvalRecord {
         let mut levels = Vec::new();
         for rep in env.pool.level_representatives() {
-            let sub = extract_submodel(&self.global, &env.cfg.model, &rep.plan);
+            let sub = env.pool.prune_plan(rep.index).extract(&self.global);
             let mut net = env.cfg.model.build(&rep.plan, &mut env.eval_rng());
             net.load_param_map(&sub);
             levels.push((

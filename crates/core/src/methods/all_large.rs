@@ -7,7 +7,7 @@ use adaptivefl_nn::layer::LayerExt;
 use adaptivefl_nn::ParamMap;
 use rand_chacha::ChaCha8Rng;
 
-use crate::aggregate::{aggregate_traced, Upload};
+use crate::aggregate::{aggregate_with_scratch, Upload};
 use crate::checkpoint::{Checkpointable, MethodState};
 use crate::error::CoreError;
 use crate::methods::{sample_clients, trace_client_train, trace_collect, trace_dispatch, FlMethod};
@@ -76,7 +76,10 @@ impl FlMethod for AllLarge {
                     let mut net = env.cfg.model.build(&full.plan, rng);
                     net.load_param_map(global);
                     let data = env.data.client(c);
-                    let loss = env.cfg.local.train(&mut net, data, rng);
+                    let loss = env
+                        .cfg
+                        .local
+                        .train_with_scratch(&mut net, data, rng, &env.scratch);
                     train_timer.stop(env.tracer());
                     trace_client_train(env, round, c, 0, loss, data.len(), macs);
                     LocalOutcome {
@@ -122,7 +125,13 @@ impl FlMethod for AllLarge {
         }
         collect_timer.stop(env.tracer());
         let agg_timer = PhaseTimer::start(env.tracer(), Phase::Aggregate);
-        aggregate_traced(&mut self.global, &uploads, env.tracer(), round);
+        aggregate_with_scratch(
+            &mut self.global,
+            &uploads,
+            env.tracer(),
+            round,
+            &env.scratch,
+        );
         agg_timer.stop(env.tracer());
 
         RoundRecord {

@@ -7,7 +7,7 @@ use adaptivefl_nn::layer::LayerExt;
 use adaptivefl_nn::ParamMap;
 use rand_chacha::ChaCha8Rng;
 
-use crate::aggregate::{aggregate_traced, Upload};
+use crate::aggregate::{aggregate_with_scratch, Upload};
 use crate::checkpoint::{Checkpointable, MethodState};
 use crate::error::CoreError;
 use crate::methods::{sample_clients, trace_client_train, trace_collect, trace_dispatch, FlMethod};
@@ -115,7 +115,10 @@ impl FlMethod for Decoupled {
                 let mut net = env.cfg.model.build(plan, rng);
                 net.load_param_map(global);
                 let data = env.data.client(c);
-                let loss = env.cfg.local.train(&mut net, data, rng);
+                let loss = env
+                    .cfg
+                    .local
+                    .train_with_scratch(&mut net, data, rng, &env.scratch);
                 let macs = cost_of(&env.cfg.model.full_blueprint(plan), env.cfg.model.input).macs;
                 train_timer.stop(env.tracer());
                 trace_client_train(env, round, c, li, loss, data.len(), macs);
@@ -161,7 +164,13 @@ impl FlMethod for Decoupled {
         collect_timer.stop(env.tracer());
         let agg_timer = PhaseTimer::start(env.tracer(), Phase::Aggregate);
         for (li, uploads) in per_level_uploads.into_iter().enumerate() {
-            aggregate_traced(&mut self.levels[li].3, &uploads, env.tracer(), round);
+            aggregate_with_scratch(
+                &mut self.levels[li].3,
+                &uploads,
+                env.tracer(),
+                round,
+                &env.scratch,
+            );
         }
         agg_timer.stop(env.tracer());
 

@@ -15,12 +15,12 @@ use adaptivefl_nn::layer::LayerExt;
 use adaptivefl_nn::ParamMap;
 use rand_chacha::ChaCha8Rng;
 
-use crate::aggregate::{aggregate_traced, Upload};
+use crate::aggregate::{aggregate_with_scratch, Upload};
 use crate::checkpoint::{Checkpointable, MethodState};
 use crate::error::CoreError;
 use crate::methods::{sample_clients, trace_client_train, trace_collect, trace_dispatch, FlMethod};
 use crate::metrics::{EvalRecord, RoundRecord};
-use crate::prune::extract_submodel;
+use crate::prune::PrunePlan;
 use crate::sim::Env;
 use crate::trace::{Phase, PhaseTimer};
 use crate::trainer::evaluate;
@@ -34,8 +34,8 @@ const WIDTH_RATIOS: [(&str, f32); 3] = [("S_1", 0.5), ("M_1", 0.707), ("L_1", 1.
 /// HeteroFL server state.
 pub struct HeteroFl {
     global: ParamMap,
-    /// `(name, plan, params)` ascending by size.
-    levels: Vec<(String, WidthPlan, u64)>,
+    /// `(name, plan, params, extraction cache)` ascending by size.
+    levels: Vec<(String, WidthPlan, u64, PrunePlan)>,
 }
 
 impl HeteroFl {
@@ -51,7 +51,8 @@ impl HeteroFl {
                     env.cfg.model.plan(&PruneSpec::new(r, 0))
                 };
                 let params = env.cfg.model.num_params(&plan);
-                (name.to_string(), plan, params)
+                let prune = PrunePlan::new(&env.cfg.model, &plan);
+                (name.to_string(), plan, params, prune)
             })
             .collect();
         HeteroFl {
@@ -106,18 +107,21 @@ impl FlMethod for HeteroFl {
             trace_dispatch(env, round, c, li, params);
             let run: JobFn<'_> = Box::new(move |rng: &mut ChaCha8Rng| {
                 let train_timer = PhaseTimer::start(env.tracer(), Phase::ClientTrain);
-                let (_, plan, params) = &levels[li];
+                let (_, plan, params, prune) = &levels[li];
                 // No client-side adaptation: a resource dip below the
                 // assigned size fails the round for this client.
                 if env.fleet.device(c).capacity_at(round) < *params {
                     train_timer.stop(env.tracer());
                     return LocalOutcome::failure();
                 }
-                let sub = extract_submodel(global, &env.cfg.model, plan);
+                let sub = prune.extract(global);
                 let mut net = env.cfg.model.build(plan, rng);
                 net.load_param_map(&sub);
                 let data = env.data.client(c);
-                let loss = env.cfg.local.train(&mut net, data, rng);
+                let loss = env
+                    .cfg
+                    .local
+                    .train_with_scratch(&mut net, data, rng, &env.scratch);
                 let macs = cost_of(&env.cfg.model.full_blueprint(plan), env.cfg.model.input).macs;
                 train_timer.stop(env.tracer());
                 trace_client_train(env, round, c, li, loss, data.len(), macs);
@@ -163,7 +167,13 @@ impl FlMethod for HeteroFl {
         }
         collect_timer.stop(env.tracer());
         let agg_timer = PhaseTimer::start(env.tracer(), Phase::Aggregate);
-        aggregate_traced(&mut self.global, &uploads, env.tracer(), round);
+        aggregate_with_scratch(
+            &mut self.global,
+            &uploads,
+            env.tracer(),
+            round,
+            &env.scratch,
+        );
         agg_timer.stop(env.tracer());
 
         RoundRecord {
@@ -183,8 +193,8 @@ impl FlMethod for HeteroFl {
 
     fn evaluate(&mut self, env: &Env, round: usize) -> EvalRecord {
         let mut levels = Vec::new();
-        for (name, plan, _) in &self.levels {
-            let sub = extract_submodel(&self.global, &env.cfg.model, plan);
+        for (name, plan, _, prune) in &self.levels {
+            let sub = prune.extract(&self.global);
             let mut net = env.cfg.model.build(plan, &mut env.eval_rng());
             net.load_param_map(&sub);
             levels.push((

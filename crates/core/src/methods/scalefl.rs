@@ -12,15 +12,15 @@ use adaptivefl_device::DeviceClass;
 use adaptivefl_models::cost::cost_of;
 use adaptivefl_models::{Network, PruneSpec, WidthPlan};
 use adaptivefl_nn::layer::LayerExt;
-use adaptivefl_nn::{ParamKind, ParamMap};
+use adaptivefl_nn::ParamMap;
 use rand_chacha::ChaCha8Rng;
 
-use crate::aggregate::{aggregate_traced, Upload};
+use crate::aggregate::{aggregate_with_scratch, Upload};
 use crate::checkpoint::{Checkpointable, MethodState};
 use crate::error::CoreError;
 use crate::methods::{sample_clients, trace_client_train, trace_collect, trace_dispatch, FlMethod};
 use crate::metrics::{EvalRecord, RoundRecord};
-use crate::prune::extract_by_shapes;
+use crate::prune::PrunePlan;
 use crate::sim::Env;
 use crate::trace::{Phase, PhaseTimer};
 use crate::trainer::evaluate;
@@ -37,7 +37,8 @@ struct LevelCfg {
     plan: WidthPlan,
     depth: usize,
     params: u64,
-    shapes: Vec<(String, Vec<usize>, ParamKind)>,
+    /// Precomputed extraction table for this level's shape list.
+    prune: PrunePlan,
     macs: u64,
 }
 
@@ -69,7 +70,7 @@ impl ScaleFl {
                     cfg.plan(&PruneSpec::new(r, 0))
                 };
                 let bp = cfg.blueprint(&plan, depth, true);
-                let shapes = bp.shapes();
+                let prune = PrunePlan::from_shapes(&bp.shapes());
                 let params = bp.num_params() as u64;
                 let macs = cost_of(&bp, cfg.input).macs;
                 LevelCfg {
@@ -77,7 +78,7 @@ impl ScaleFl {
                     plan,
                     depth,
                     params,
-                    shapes,
+                    prune,
                     macs,
                 }
             })
@@ -145,15 +146,19 @@ impl FlMethod for ScaleFl {
                     train_timer.stop(env.tracer());
                     return LocalOutcome::failure();
                 }
-                let sub = extract_by_shapes(global, &level.shapes);
+                let sub = level.prune.extract(global);
                 let bp = env.cfg.model.blueprint(&level.plan, level.depth, true);
                 let mut net = Network::build(&bp, rng);
                 net.load_param_map(&sub);
                 let data = env.data.client(c);
-                let loss =
-                    env.cfg
-                        .local
-                        .train_multi_exit(&mut net, data, KD_WEIGHT, KD_TEMPERATURE, rng);
+                let loss = env.cfg.local.train_multi_exit_with_scratch(
+                    &mut net,
+                    data,
+                    KD_WEIGHT,
+                    KD_TEMPERATURE,
+                    rng,
+                    &env.scratch,
+                );
                 train_timer.stop(env.tracer());
                 trace_client_train(env, round, c, li, loss, data.len(), level.macs);
                 LocalOutcome {
@@ -198,7 +203,13 @@ impl FlMethod for ScaleFl {
         }
         collect_timer.stop(env.tracer());
         let agg_timer = PhaseTimer::start(env.tracer(), Phase::Aggregate);
-        aggregate_traced(&mut self.global, &uploads, env.tracer(), round);
+        aggregate_with_scratch(
+            &mut self.global,
+            &uploads,
+            env.tracer(),
+            round,
+            &env.scratch,
+        );
         agg_timer.stop(env.tracer());
 
         RoundRecord {
@@ -222,7 +233,7 @@ impl FlMethod for ScaleFl {
             // Evaluate each level submodel at its own final exit (no
             // aux heads needed for inference).
             let bp = env.cfg.model.blueprint(&level.plan, level.depth, true);
-            let sub = extract_by_shapes(&self.global, &level.shapes);
+            let sub = level.prune.extract(&self.global);
             let mut net = Network::build(&bp, &mut env.eval_rng());
             net.load_param_map(&sub);
             levels.push((

@@ -5,16 +5,88 @@ use adaptivefl_models::{ModelConfig, WidthPlan};
 use adaptivefl_nn::{ParamKind, ParamMap};
 use adaptivefl_tensor::SliceSpec;
 
+/// A precomputed extraction table for one submodel configuration: the
+/// per-parameter prefix [`SliceSpec`]s of the paper's §3.2 width-wise
+/// pruning.
+///
+/// Building the table walks the model blueprint (expensive); extracting
+/// with it is a flat loop over cached specs. The `2p+1` pool
+/// configurations are fixed for a run, so [`crate::pool::ModelPool`]
+/// builds one plan per entry at construction instead of rebuilding the
+/// shape table per client dispatch.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PrunePlan {
+    specs: Vec<(String, SliceSpec)>,
+}
+
+impl PrunePlan {
+    /// Precomputes the extraction table for a width plan.
+    pub fn new(cfg: &ModelConfig, plan: &WidthPlan) -> Self {
+        Self::from_shapes(&cfg.shapes(plan))
+    }
+
+    /// Precomputes the table from an explicit shape list (used for
+    /// ScaleFL's depth-scaled multi-exit submodels).
+    pub fn from_shapes(shapes: &[(String, Vec<usize>, ParamKind)]) -> Self {
+        PrunePlan {
+            specs: shapes
+                .iter()
+                .map(|(name, shape, _)| (name.clone(), SliceSpec::new(shape.clone())))
+                .collect(),
+        }
+    }
+
+    /// Number of parameters in the submodel.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// `true` when the plan extracts nothing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Total extracted element count (the `size(·)` of the paper).
+    pub fn numel(&self) -> usize {
+        self.specs.iter().map(|(_, s)| s.numel()).sum()
+    }
+
+    /// Extracts the submodel from the full global map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the global map is missing a parameter or a cached
+    /// shape does not nest inside the global shape.
+    pub fn extract(&self, global: &ParamMap) -> ParamMap {
+        let mut out = ParamMap::new();
+        for (name, spec) in &self.specs {
+            let full = global
+                .get(name)
+                .unwrap_or_else(|| panic!("global model missing parameter {name}"));
+            assert!(
+                spec.fits_in(full.shape()),
+                "plan shape {spec} does not nest in global {:?} for {name}",
+                full.shape()
+            );
+            out.insert(name.clone(), spec.extract(full));
+        }
+        out
+    }
+}
+
 /// Extracts the submodel parameters for `plan` from a full global
 /// parameter map by prefix-slicing every named tensor to the plan's
 /// shape table.
+///
+/// Builds a throwaway [`PrunePlan`]; hot paths should extract through a
+/// cached plan (see [`crate::pool::ModelPool::prune_plan`]).
 ///
 /// # Panics
 ///
 /// Panics if the global map is missing a parameter or a plan shape does
 /// not fit inside the global shape (i.e. the plan is not nested).
 pub fn extract_submodel(global: &ParamMap, cfg: &ModelConfig, plan: &WidthPlan) -> ParamMap {
-    extract_by_shapes(global, &cfg.shapes(plan))
+    PrunePlan::new(cfg, plan).extract(global)
 }
 
 /// Extracts parameters by an explicit shape table (used for ScaleFL's
@@ -27,20 +99,7 @@ pub fn extract_by_shapes(
     global: &ParamMap,
     shapes: &[(String, Vec<usize>, ParamKind)],
 ) -> ParamMap {
-    let mut out = ParamMap::new();
-    for (name, shape, _) in shapes {
-        let full = global
-            .get(name)
-            .unwrap_or_else(|| panic!("global model missing parameter {name}"));
-        let spec = SliceSpec::new(shape.clone());
-        assert!(
-            spec.fits_in(full.shape()),
-            "plan shape {shape:?} does not nest in global {:?} for {name}",
-            full.shape()
-        );
-        out.insert(name.clone(), spec.extract(full));
-    }
-    out
+    PrunePlan::from_shapes(shapes).extract(global)
 }
 
 #[cfg(test)]
@@ -110,6 +169,24 @@ mod tests {
                 let sub = extract_submodel(&global, &cfg, &e.plan);
                 assert_eq!(sub.numel() as u64, e.params, "{:?} {}", cfg.kind, e.name());
             }
+        }
+    }
+
+    #[test]
+    fn cached_plan_matches_fresh_extraction() {
+        let cfg = ModelConfig::tiny(10);
+        let pool = ModelPool::split(&cfg, 3, DEFAULT_RATIOS);
+        let mut r = rng::seeded(54);
+        let global = cfg.build(&cfg.full_plan(), &mut r).param_map();
+        for e in pool.entries() {
+            let cached = pool.prune_plan(e.index);
+            assert_eq!(cached.numel() as u64, e.params, "{}", e.name());
+            assert_eq!(
+                cached.extract(&global),
+                extract_submodel(&global, &cfg, &e.plan),
+                "{}",
+                e.name()
+            );
         }
     }
 

@@ -5,6 +5,7 @@ use adaptivefl_device::{DeviceFleet, ResourceDynamics};
 use adaptivefl_models::ModelConfig;
 use adaptivefl_nn::layer::LayerExt;
 use adaptivefl_nn::ParamMap;
+use adaptivefl_tensor::Scratch;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
@@ -126,6 +127,11 @@ pub struct Env {
     /// worker threads; tracers only consume signals, never influence
     /// the run.
     pub tracer: Arc<dyn Tracer>,
+    /// Shared buffer arena for aggregation and optimizer temporaries.
+    /// Handles are cheap clones of one pool; buffers always leave it
+    /// zeroed or fully overwritten, so sharing an arena (even across
+    /// runs) is bit-identical to allocating fresh.
+    pub scratch: Scratch,
 }
 
 impl Env {
@@ -223,6 +229,7 @@ impl Simulation {
                 fleet,
                 pool,
                 tracer: Arc::new(NoopTracer),
+                scratch: Scratch::new(),
             },
         }
     }
@@ -259,6 +266,19 @@ impl Simulation {
     /// Installs a tracer for subsequent runs.
     pub fn set_tracer(&mut self, tracer: Arc<dyn Tracer>) {
         self.env.tracer = tracer;
+    }
+
+    /// Installs a shared scratch arena for subsequent runs (builder
+    /// form). Sharing an arena across simulations reuses its buffers;
+    /// results are bit-identical to a private arena.
+    pub fn with_scratch(mut self, scratch: Scratch) -> Self {
+        self.env.scratch = scratch;
+        self
+    }
+
+    /// Installs a shared scratch arena for subsequent runs.
+    pub fn set_scratch(&mut self, scratch: Scratch) {
+        self.env.scratch = scratch;
     }
 
     /// Runs one method for `cfg.rounds` rounds over the default

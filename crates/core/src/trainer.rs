@@ -7,6 +7,7 @@ use adaptivefl_nn::layer::{Layer, LayerExt};
 use adaptivefl_nn::loss::{distillation_loss, softmax_cross_entropy};
 use adaptivefl_nn::metrics::{accuracy, RunningMean};
 use adaptivefl_nn::optim::Sgd;
+use adaptivefl_tensor::Scratch;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -92,8 +93,26 @@ impl LocalTrainer {
 
     /// Trains the network on a client shard with plain cross-entropy
     /// (single exit); returns the mean training loss.
+    ///
+    /// Optimizer buffers come from a private arena; use
+    /// [`LocalTrainer::train_with_scratch`] to share one across
+    /// sessions. The results are bit-identical either way.
     pub fn train(&self, net: &mut Network, data: &InMemoryDataset, rng: &mut impl Rng) -> f32 {
-        let mut opt = Sgd::new(self.lr, self.momentum);
+        self.train_with_scratch(net, data, rng, &Scratch::new())
+    }
+
+    /// [`LocalTrainer::train`] with an explicit scratch arena for the
+    /// optimizer's momentum and weight-decay buffers, so repeated
+    /// training sessions reuse them instead of reallocating per
+    /// parameter per session.
+    pub fn train_with_scratch(
+        &self,
+        net: &mut Network,
+        data: &InMemoryDataset,
+        rng: &mut impl Rng,
+        scratch: &Scratch,
+    ) -> f32 {
+        let mut opt = Sgd::new(self.lr, self.momentum).with_scratch(scratch.clone());
         let mut loss = RunningMean::new();
         let anchor = (self.prox_mu > 0.0).then(|| net.param_map());
         for _ in 0..self.epochs {
@@ -124,7 +143,29 @@ impl LocalTrainer {
         kd_temperature: f32,
         rng: &mut impl Rng,
     ) -> f32 {
-        let mut opt = Sgd::new(self.lr, self.momentum);
+        self.train_multi_exit_with_scratch(
+            net,
+            data,
+            kd_weight,
+            kd_temperature,
+            rng,
+            &Scratch::new(),
+        )
+    }
+
+    /// [`LocalTrainer::train_multi_exit`] with an explicit scratch
+    /// arena (see [`LocalTrainer::train_with_scratch`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_multi_exit_with_scratch(
+        &self,
+        net: &mut Network,
+        data: &InMemoryDataset,
+        kd_weight: f32,
+        kd_temperature: f32,
+        rng: &mut impl Rng,
+        scratch: &Scratch,
+    ) -> f32 {
+        let mut opt = Sgd::new(self.lr, self.momentum).with_scratch(scratch.clone());
         let mut loss = RunningMean::new();
         for _ in 0..self.epochs {
             for batch in data.shuffled_batches(self.batch_size, rng) {

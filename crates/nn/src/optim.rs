@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use adaptivefl_tensor::Tensor;
+use adaptivefl_tensor::{Scratch, Tensor};
 
 use crate::layer::{Layer, ParamKind};
 
@@ -14,6 +14,12 @@ use crate::layer::{Layer, ParamKind};
 /// can be reused across submodels of different widths — buffers are
 /// (re)created lazily when a parameter's shape changes, which is exactly
 /// what happens when a client receives a differently pruned model.
+///
+/// All temporaries (momentum buffers, decayed-gradient staging) come
+/// from a [`Scratch`] arena — pass a shared one via [`Sgd::with_scratch`]
+/// to amortise the allocations across training sessions. The update
+/// arithmetic is independent of the arena: a step with a shared arena is
+/// bit-identical to one with a private arena.
 #[derive(Debug, Clone)]
 pub struct Sgd {
     /// Learning rate.
@@ -23,10 +29,11 @@ pub struct Sgd {
     /// L2 weight-decay coefficient (0 disables).
     pub weight_decay: f32,
     velocity: BTreeMap<String, Tensor>,
+    scratch: Scratch,
 }
 
 impl Sgd {
-    /// Creates an SGD optimizer.
+    /// Creates an SGD optimizer with a private scratch arena.
     ///
     /// # Panics
     ///
@@ -39,12 +46,19 @@ impl Sgd {
             momentum,
             weight_decay: 0.0,
             velocity: BTreeMap::new(),
+            scratch: Scratch::new(),
         }
     }
 
     /// Builder-style weight decay.
     pub fn with_weight_decay(mut self, wd: f32) -> Self {
         self.weight_decay = wd;
+        self
+    }
+
+    /// Builder-style shared scratch arena for all optimizer buffers.
+    pub fn with_scratch(mut self, scratch: Scratch) -> Self {
+        self.scratch = scratch;
         self
     }
 
@@ -55,39 +69,60 @@ impl Sgd {
         let mu = self.momentum;
         let wd = self.weight_decay;
         let velocity = &mut self.velocity;
+        let scratch = &self.scratch;
         model.visit_params_mut(
             "",
             &mut |name: &str, kind: ParamKind, value: &mut Tensor, grad: &mut Tensor| {
                 if !kind.is_trainable() {
                     return;
                 }
-                let mut g = grad.clone();
-                if wd != 0.0 {
+                // The decayed gradient is staged in the arena only when
+                // weight decay is active; the common `wd == 0` path
+                // uses `grad` in place and allocates nothing.
+                let decayed = (wd != 0.0).then(|| {
+                    let mut g = scratch.take_tensor_copy(grad);
                     g.axpy(wd, value);
-                }
+                    g
+                });
+                let g: &Tensor = decayed.as_ref().unwrap_or(grad);
                 if mu != 0.0 {
-                    let v = velocity
-                        .entry(name.to_string())
-                        .and_modify(|v| {
-                            if v.shape() != g.shape() {
-                                *v = Tensor::zeros(g.shape());
-                            }
-                        })
-                        .or_insert_with(|| Tensor::zeros(g.shape()));
+                    if !velocity.contains_key(name) {
+                        velocity.insert(name.to_string(), scratch.take_tensor(g.shape()));
+                    }
+                    let v = velocity.get_mut(name).expect("just inserted");
+                    if v.shape() != g.shape() {
+                        let fresh = scratch.take_tensor(g.shape());
+                        scratch.recycle_tensor(std::mem::replace(v, fresh));
+                    }
                     v.scale(mu);
-                    v.add_assign(&g);
+                    v.add_assign(g);
                     value.axpy(-lr, v);
                 } else {
-                    value.axpy(-lr, &g);
+                    value.axpy(-lr, g);
+                }
+                if let Some(g) = decayed {
+                    scratch.recycle_tensor(g);
                 }
             },
         );
     }
 
     /// Discards all momentum buffers (e.g. between federated rounds,
-    /// where each local training session starts fresh).
+    /// where each local training session starts fresh), returning them
+    /// to the scratch arena.
     pub fn reset_state(&mut self) {
-        self.velocity.clear();
+        let velocity = std::mem::take(&mut self.velocity);
+        for (_, v) in velocity {
+            self.scratch.recycle_tensor(v);
+        }
+    }
+}
+
+impl Drop for Sgd {
+    /// Returns the momentum buffers to the arena so the next training
+    /// session (which builds a fresh `Sgd`) reuses them.
+    fn drop(&mut self) {
+        self.reset_state();
     }
 }
 
@@ -97,7 +132,7 @@ mod tests {
     use crate::layer::LayerExt;
     use crate::layers::Linear;
     use crate::loss::softmax_cross_entropy;
-    use adaptivefl_tensor::{init, rng};
+    use adaptivefl_tensor::{init, rng, Scratch};
 
     #[test]
     fn sgd_descends_a_quadratic() {
@@ -150,6 +185,53 @@ mod tests {
         opt.step(&mut big);
         opt.step(&mut small); // must not panic on shape mismatch
         assert_eq!(small.param_map().numel(), 2 * 2 + 2);
+    }
+
+    #[test]
+    fn shared_scratch_is_bit_identical_to_private() {
+        // Pre-dirty the shared arena so reuse actually happens, then
+        // train two identical models with and without it.
+        let run = |scratch: Option<Scratch>| {
+            let mut r = rng::seeded(24);
+            let mut fc = Linear::new(4, 3, &mut r);
+            let x = init::normal(&[6, 4], 1.0, &mut r);
+            let mut opt = Sgd::new(0.1, 0.7).with_weight_decay(0.01);
+            if let Some(s) = scratch {
+                opt = opt.with_scratch(s);
+            }
+            for _ in 0..5 {
+                fc.zero_grads();
+                let logits = fc.forward(x.clone(), true);
+                let out = softmax_cross_entropy(&logits, &[0usize; 6]);
+                let _ = fc.backward(out.dlogits);
+                opt.step(&mut fc);
+            }
+            fc.param_map()
+        };
+        let shared = Scratch::new();
+        let mut dirty = shared.take(64);
+        dirty.fill(123.456);
+        shared.recycle(dirty);
+        let a = run(None);
+        let b = run(Some(shared.clone()));
+        assert_eq!(a, b);
+        assert!(shared.reuses() > 0, "arena was never reused");
+    }
+
+    #[test]
+    fn drop_recycles_velocity_into_scratch() {
+        let shared = Scratch::new();
+        let mut r = rng::seeded(25);
+        let mut fc = Linear::new(3, 2, &mut r);
+        {
+            let mut opt = Sgd::new(0.1, 0.9).with_scratch(shared.clone());
+            fc.zero_grads();
+            let y = fc.forward(Tensor::ones(&[1, 3]), true);
+            let _ = fc.backward(Tensor::ones(y.shape()));
+            opt.step(&mut fc);
+        }
+        // weight + bias velocity buffers returned on drop.
+        assert_eq!(shared.free_buffers(), 2);
     }
 
     #[test]

@@ -25,8 +25,10 @@ mod tensor;
 pub mod init;
 pub mod ops;
 pub mod rng;
+pub mod scratch;
 pub mod slice;
 
+pub use scratch::Scratch;
 pub use slice::SliceSpec;
 pub use tensor::Tensor;
 

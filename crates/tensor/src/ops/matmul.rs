@@ -1,12 +1,83 @@
 //! Dense matrix multiplication kernels.
 //!
-//! A cache-friendly `i-k-j` loop order is used; at the matrix sizes of
-//! the reduced-scale experiments this is within a small factor of a
-//! tuned BLAS and keeps the workspace dependency-free.
+//! Each product ships in two implementations that are **bit-identical**
+//! by construction (see DESIGN.md §10):
+//!
+//! * a *reference* kernel — the original scalar loops, kept verbatim as
+//!   the semantic ground truth;
+//! * a *blocked* kernel — the default, which processes `MR`-row panels
+//!   of the output with the accumulators held in registers for the
+//!   whole k-loop, runtime-dispatched to an AVX-512 / AVX2 microkernel
+//!   on x86-64 (explicit mul-then-add — **never** FMA, whose single
+//!   rounding would change results) with a portable register-tiled
+//!   fallback elsewhere.
+//!
+//! Blocking only reorders work **across independent output elements**;
+//! for every single output element the k-accumulation order (and the
+//! skip-on-zero rule of the reference kernels) is preserved exactly, so
+//! no floating-point sum is ever re-associated and the results match
+//! the reference bit for bit. The skip rule is honoured by prescanning
+//! each A panel: panels without zeros take the branchless fast path (a
+//! skip could never fire), panels containing a zero fall back to the
+//! reference row loop. `crates/tensor/tests/kernel_diff.rs` asserts the
+//! equivalence differentially with `f32::to_bits`.
+//!
+//! Setting `TENSOR_NAIVE=1` in the environment forces the reference
+//! kernels at run time (read once per process).
+
+use std::sync::OnceLock;
 
 use crate::Tensor;
 
+/// Rows per register panel.
+const MR: usize = 4;
+/// Columns per portable register tile (`MR·NR` accumulators fit the
+/// baseline x86-64 / aarch64 vector register files).
+const NR: usize = 8;
+
+/// `true` when `TENSOR_NAIVE` is set (to anything but `0`/empty) and the
+/// public entry points dispatch to the reference kernels.
+///
+/// The variable is read once per process; changing it later has no
+/// effect.
+pub fn naive_kernels_forced() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| match std::env::var("TENSOR_NAIVE") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    })
+}
+
+/// The widest SIMD microkernel the running CPU supports, detected once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Isa {
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    Portable,
+}
+
+fn isa() -> Isa {
+    static ISA: OnceLock<Isa> = OnceLock::new();
+    *ISA.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                return Isa::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return Isa::Avx2;
+            }
+        }
+        Isa::Portable
+    })
+}
+
 /// `C = A · B` for row-major 2-D tensors.
+///
+/// Dispatches to [`matmul_blocked`] unless `TENSOR_NAIVE=1` selects
+/// [`matmul_reference`]; the two are bit-identical.
 ///
 /// # Panics
 ///
@@ -22,6 +93,50 @@ use crate::Tensor;
 /// assert_eq!(matmul(&a, &b).as_slice(), &[19.0, 22.0, 43.0, 50.0]);
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    if naive_kernels_forced() {
+        matmul_reference(a, b)
+    } else {
+        matmul_blocked(a, b)
+    }
+}
+
+/// `C = Aᵀ · B` without materialising the transpose.
+///
+/// Dispatches like [`matmul`].
+///
+/// # Panics
+///
+/// Panics if the operands are not 2-D or `A.rows != B.rows`.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    if naive_kernels_forced() {
+        matmul_at_b_reference(a, b)
+    } else {
+        matmul_at_b_blocked(a, b)
+    }
+}
+
+/// `C = A · Bᵀ` without materialising the transpose.
+///
+/// Dispatches like [`matmul`].
+///
+/// # Panics
+///
+/// Panics if the operands are not 2-D or `A.cols != B.cols`.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    if naive_kernels_forced() {
+        matmul_a_bt_reference(a, b)
+    } else {
+        matmul_a_bt_blocked(a, b)
+    }
+}
+
+/// Reference `C = A · B`: the original cache-friendly `i-k-j` scalar
+/// loops, kept as the bit-exact ground truth for the blocked kernel.
+///
+/// # Panics
+///
+/// See [`matmul`].
+pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = dims2(a, "matmul lhs");
     let (k2, n) = dims2(b, "matmul rhs");
     assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
@@ -29,27 +144,34 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let av = a.as_slice();
     let bv = b.as_slice();
     for i in 0..m {
-        let arow = &av[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (kk, &aik) in arow.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = &bv[kk * n..(kk + 1) * n];
-            for (o, &bkj) in orow.iter_mut().zip(brow.iter()) {
-                *o += aik * bkj;
-            }
-        }
+        matmul_row_reference(&av[i * k..(i + 1) * k], bv, &mut out[i * n..(i + 1) * n]);
     }
     Tensor::from_vec(out, &[m, n])
 }
 
-/// `C = Aᵀ · B` without materialising the transpose.
+/// One output row of [`matmul_reference`]: `orow += Σ_k a[k]·B[k,:]`
+/// with the skip-on-zero rule. Shared with the blocked kernel's
+/// zero-panel fallback so both paths are the same code.
+#[inline]
+fn matmul_row_reference(arow: &[f32], bv: &[f32], orow: &mut [f32]) {
+    let n = orow.len();
+    for (kk, &aik) in arow.iter().enumerate() {
+        if aik == 0.0 {
+            continue;
+        }
+        let brow = &bv[kk * n..(kk + 1) * n];
+        for (o, &bkj) in orow.iter_mut().zip(brow.iter()) {
+            *o += aik * bkj;
+        }
+    }
+}
+
+/// Reference `C = Aᵀ · B`: the original `k`-outer scalar loops.
 ///
 /// # Panics
 ///
-/// Panics if the operands are not 2-D or `A.rows != B.rows`.
-pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+/// See [`matmul_at_b`].
+pub fn matmul_at_b_reference(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = dims2(a, "matmul_at_b lhs");
     let (k2, n) = dims2(b, "matmul_at_b rhs");
     assert_eq!(k, k2, "matmul_at_b shared dim {k} vs {k2}");
@@ -72,12 +194,14 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     Tensor::from_vec(out, &[m, n])
 }
 
-/// `C = A · Bᵀ` without materialising the transpose.
+/// Reference `C = A · Bᵀ`: the original `i-j-k` dot-product loops. Note
+/// this kernel has **no** skip-on-zero — the blocked variant must not
+/// introduce one.
 ///
 /// # Panics
 ///
-/// Panics if the operands are not 2-D or `A.cols != B.cols`.
-pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+/// See [`matmul_a_bt`].
+pub fn matmul_a_bt_reference(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = dims2(a, "matmul_a_bt lhs");
     let (n, k2) = dims2(b, "matmul_a_bt rhs");
     assert_eq!(k, k2, "matmul_a_bt shared dim {k} vs {k2}");
@@ -96,6 +220,453 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
         }
     }
     Tensor::from_vec(out, &[m, n])
+}
+
+/// Blocked `C = A · B`, bit-identical to [`matmul_reference`].
+///
+/// Works in `MR`-row panels. A panel whose `A` rows contain no zero is
+/// handed to a branchless microkernel (SIMD on x86-64, register-tiled
+/// scalar elsewhere) — the reference skip-on-zero could never fire on
+/// such a panel, so dropping the check reorders nothing. Panels
+/// containing a zero (and the ragged bottom rows) run the reference
+/// row loop itself. Within every output element the additions happen in
+/// strictly increasing k either way, so no sum is re-associated.
+///
+/// # Panics
+///
+/// See [`matmul`].
+pub fn matmul_blocked(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul lhs");
+    let (k2, n) = dims2(b, "matmul rhs");
+    assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let isa = isa();
+    let mut i0 = 0;
+    while i0 < m {
+        let mh = MR.min(m - i0);
+        let apanel = &av[i0 * k..(i0 + mh) * k];
+        if mh == MR && !apanel.contains(&0.0) {
+            match isa {
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: `isa()` verified the feature at run time.
+                Isa::Avx512 => unsafe { x86::matmul_panel_avx512(apanel, bv, &mut out, i0, k, n) },
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: as above.
+                Isa::Avx2 => unsafe { x86::matmul_panel_avx2(apanel, bv, &mut out, i0, k, n) },
+                Isa::Portable => matmul_panel_portable(apanel, bv, &mut out, i0, k, n),
+            }
+        } else {
+            for ii in 0..mh {
+                let i = i0 + ii;
+                matmul_row_reference(&av[i * k..(i + 1) * k], bv, &mut out[i * n..(i + 1) * n]);
+            }
+        }
+        i0 += MR;
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Portable microkernel for one zero-free `MR`-row panel of
+/// [`matmul_blocked`]: `MR × NR` output tiles accumulate in registers
+/// across the whole k-loop with no branches, which the compiler
+/// auto-vectorises at whatever width the target offers.
+fn matmul_panel_portable(
+    apanel: &[f32],
+    bv: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut j0 = 0;
+    while j0 < n {
+        let nw = NR.min(n - j0);
+        let mut acc = [[0.0f32; NR]; MR];
+        if nw == NR {
+            for kk in 0..k {
+                let brow = &bv[kk * n + j0..kk * n + j0 + NR];
+                for (ii, arow) in acc.iter_mut().enumerate() {
+                    let aik = apanel[ii * k + kk];
+                    for (o, &bkj) in arow.iter_mut().zip(brow.iter()) {
+                        *o += aik * bkj;
+                    }
+                }
+            }
+        } else {
+            for kk in 0..k {
+                let brow = &bv[kk * n + j0..kk * n + j0 + nw];
+                for (ii, arow) in acc.iter_mut().enumerate() {
+                    let aik = apanel[ii * k + kk];
+                    for (o, &bkj) in arow.iter_mut().zip(brow.iter()) {
+                        *o += aik * bkj;
+                    }
+                }
+            }
+        }
+        for (ii, arow) in acc.iter().enumerate() {
+            let off = (i0 + ii) * n + j0;
+            out[off..off + nw].copy_from_slice(&arow[..nw]);
+        }
+        j0 += NR;
+    }
+}
+
+/// Blocked `C = Aᵀ · B`, bit-identical to [`matmul_at_b_reference`].
+///
+/// Same panel strategy as [`matmul_blocked`]; the panel here is an
+/// `MR`-column block of `A` (contiguous per k-row), prescanned for
+/// zeros the same way.
+///
+/// # Panics
+///
+/// See [`matmul_at_b`].
+pub fn matmul_at_b_blocked(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = dims2(a, "matmul_at_b lhs");
+    let (k2, n) = dims2(b, "matmul_at_b rhs");
+    assert_eq!(k, k2, "matmul_at_b shared dim {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let isa = isa();
+    // The panel's A values (columns i0..i0+MR) are strided; stage them
+    // contiguously once per panel so the microkernels are shared with
+    // `matmul_blocked` (pure copy — no arithmetic, no reordering).
+    let mut staged = vec![0.0f32; MR.max(1) * k];
+    let mut i0 = 0;
+    while i0 < m {
+        let mh = MR.min(m - i0);
+        let mut has_zero = false;
+        for kk in 0..k {
+            for ii in 0..mh {
+                let v = av[kk * m + i0 + ii];
+                has_zero |= v == 0.0;
+                staged[ii * k + kk] = v;
+            }
+        }
+        if mh == MR && !has_zero {
+            let apanel = &staged[..MR * k];
+            match isa {
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: `isa()` verified the feature at run time.
+                Isa::Avx512 => unsafe { x86::matmul_panel_avx512(apanel, bv, &mut out, i0, k, n) },
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: as above.
+                Isa::Avx2 => unsafe { x86::matmul_panel_avx2(apanel, bv, &mut out, i0, k, n) },
+                Isa::Portable => matmul_panel_portable(apanel, bv, &mut out, i0, k, n),
+            }
+        } else {
+            for ii in 0..mh {
+                let i = i0 + ii;
+                matmul_row_reference(
+                    &staged[ii * k..(ii + 1) * k],
+                    bv,
+                    &mut out[i * n..(i + 1) * n],
+                );
+            }
+        }
+        i0 += MR;
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Blocked `C = A · Bᵀ`, bit-identical to [`matmul_a_bt_reference`].
+///
+/// The reference computes each output element as one serial dot
+/// product. Here a `Bᵀ` column panel is transposed into a contiguous
+/// staging buffer once (a pure copy), after which each `MR`-row tile
+/// advances `MR × panel-width` independent accumulator chains per
+/// k-step — each chain is still one element's dot product fed in
+/// increasing k, so every sum keeps the reference association. The
+/// reference has no skip-on-zero, so no prescan is needed.
+///
+/// # Panics
+///
+/// See [`matmul_a_bt`].
+pub fn matmul_a_bt_blocked(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul_a_bt lhs");
+    let (n, k2) = dims2(b, "matmul_a_bt rhs");
+    assert_eq!(k, k2, "matmul_a_bt shared dim {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let isa = isa();
+    // B rows j0..j0+NR transposed to k-major so the microkernel loads
+    // the panel's B values for one k contiguously.
+    let mut tbuf = vec![0.0f32; k * NR];
+    let mut j0 = 0;
+    while j0 < n {
+        let nw = NR.min(n - j0);
+        if nw == NR {
+            for kk in 0..k {
+                for jj in 0..NR {
+                    tbuf[kk * NR + jj] = bv[(j0 + jj) * k + kk];
+                }
+            }
+            let mut i0 = 0;
+            while i0 < m {
+                let mh = MR.min(m - i0);
+                if mh == MR {
+                    let apanel = &av[i0 * k..(i0 + MR) * k];
+                    match isa {
+                        #[cfg(target_arch = "x86_64")]
+                        // SAFETY: `isa()` verified the feature at run time.
+                        Isa::Avx512 => unsafe {
+                            x86::a_bt_tile_avx2(apanel, &tbuf, &mut out, i0, j0, k, n)
+                        },
+                        #[cfg(target_arch = "x86_64")]
+                        // SAFETY: as above.
+                        Isa::Avx2 => unsafe {
+                            x86::a_bt_tile_avx2(apanel, &tbuf, &mut out, i0, j0, k, n)
+                        },
+                        Isa::Portable => a_bt_tile_portable(apanel, &tbuf, &mut out, i0, j0, k, n),
+                    }
+                } else {
+                    a_bt_rows_reference(av, bv, &mut out, i0, mh, j0, nw, k, n);
+                }
+                i0 += MR;
+            }
+        } else {
+            a_bt_rows_reference(av, bv, &mut out, 0, m, j0, nw, k, n);
+        }
+        j0 += NR;
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Reference-order serial dot products for an `A·Bᵀ` edge block.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn a_bt_rows_reference(
+    av: &[f32],
+    bv: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    mh: usize,
+    j0: usize,
+    nw: usize,
+    k: usize,
+    n: usize,
+) {
+    for i in i0..i0 + mh {
+        let arow = &av[i * k..(i + 1) * k];
+        for j in j0..j0 + nw {
+            let brow = &bv[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow.iter()) {
+                acc += x * y;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// Portable `MR × NR` tile of [`matmul_a_bt_blocked`] over the
+/// transposed panel: branchless, auto-vectorisable.
+fn a_bt_tile_portable(
+    apanel: &[f32],
+    tbuf: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    j0: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for kk in 0..k {
+        let brow = &tbuf[kk * NR..(kk + 1) * NR];
+        for (ii, arow) in acc.iter_mut().enumerate() {
+            let aik = apanel[ii * k + kk];
+            for (o, &bkj) in arow.iter_mut().zip(brow.iter()) {
+                *o += aik * bkj;
+            }
+        }
+    }
+    for (ii, arow) in acc.iter().enumerate() {
+        let off = (i0 + ii) * n + j0;
+        out[off..off + NR].copy_from_slice(arow);
+    }
+}
+
+/// x86-64 SIMD microkernels. All of them compute `acc = acc + a·b`
+/// with separate multiply and add instructions — never FMA — so each
+/// lane performs exactly the scalar reference's two correctly-rounded
+/// operations and the results are bit-identical.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{MR, NR};
+    use std::arch::x86_64::*;
+
+    /// AVX-512 panel kernel: `MR` rows × 32 columns per tile (8 zmm
+    /// accumulators live across the whole k-loop), narrowing to 16-wide
+    /// AVX-512, then the scalar tail.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure `avx512f` (and `avx2` for the narrow tile) is
+    /// available, `apanel.len() == MR*k`, `bv.len() >= k*n`,
+    /// `out.len() >= (i0+MR)*n`, and the panel contains no zeros.
+    #[target_feature(enable = "avx512f,avx2")]
+    pub unsafe fn matmul_panel_avx512(
+        apanel: &[f32],
+        bv: &[f32],
+        out: &mut [f32],
+        i0: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let ap = apanel.as_ptr();
+        let bp = bv.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut j0 = 0;
+        while j0 + 32 <= n {
+            let mut acc = [_mm512_setzero_ps(); 2 * MR];
+            for kk in 0..k {
+                let base = bp.add(kk * n + j0);
+                let b0 = _mm512_loadu_ps(base);
+                let b1 = _mm512_loadu_ps(base.add(16));
+                for ii in 0..MR {
+                    let a = _mm512_set1_ps(*ap.add(ii * k + kk));
+                    acc[2 * ii] = _mm512_add_ps(acc[2 * ii], _mm512_mul_ps(a, b0));
+                    acc[2 * ii + 1] = _mm512_add_ps(acc[2 * ii + 1], _mm512_mul_ps(a, b1));
+                }
+            }
+            for ii in 0..MR {
+                let dst = op.add((i0 + ii) * n + j0);
+                _mm512_storeu_ps(dst, acc[2 * ii]);
+                _mm512_storeu_ps(dst.add(16), acc[2 * ii + 1]);
+            }
+            j0 += 32;
+        }
+        while j0 + 16 <= n {
+            let mut acc = [_mm512_setzero_ps(); MR];
+            for kk in 0..k {
+                let b0 = _mm512_loadu_ps(bp.add(kk * n + j0));
+                for (ii, c) in acc.iter_mut().enumerate() {
+                    let a = _mm512_set1_ps(*ap.add(ii * k + kk));
+                    *c = _mm512_add_ps(*c, _mm512_mul_ps(a, b0));
+                }
+            }
+            for (ii, c) in acc.iter().enumerate() {
+                _mm512_storeu_ps(op.add((i0 + ii) * n + j0), *c);
+            }
+            j0 += 16;
+        }
+        matmul_panel_tail(apanel, bv, out, i0, j0, k, n);
+    }
+
+    /// AVX2 panel kernel: `MR` rows × 16 columns per tile (8 ymm
+    /// accumulators), then 8-wide, then the scalar tail.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure `avx2` is available plus the slice bounds of
+    /// [`matmul_panel_avx512`], and the panel contains no zeros.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn matmul_panel_avx2(
+        apanel: &[f32],
+        bv: &[f32],
+        out: &mut [f32],
+        i0: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let ap = apanel.as_ptr();
+        let bp = bv.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut j0 = 0;
+        while j0 + 16 <= n {
+            let mut acc = [_mm256_setzero_ps(); 2 * MR];
+            for kk in 0..k {
+                let base = bp.add(kk * n + j0);
+                let b0 = _mm256_loadu_ps(base);
+                let b1 = _mm256_loadu_ps(base.add(8));
+                for ii in 0..MR {
+                    let a = _mm256_set1_ps(*ap.add(ii * k + kk));
+                    acc[2 * ii] = _mm256_add_ps(acc[2 * ii], _mm256_mul_ps(a, b0));
+                    acc[2 * ii + 1] = _mm256_add_ps(acc[2 * ii + 1], _mm256_mul_ps(a, b1));
+                }
+            }
+            for ii in 0..MR {
+                let dst = op.add((i0 + ii) * n + j0);
+                _mm256_storeu_ps(dst, acc[2 * ii]);
+                _mm256_storeu_ps(dst.add(8), acc[2 * ii + 1]);
+            }
+            j0 += 16;
+        }
+        while j0 + 8 <= n {
+            let mut acc = [_mm256_setzero_ps(); MR];
+            for kk in 0..k {
+                let b0 = _mm256_loadu_ps(bp.add(kk * n + j0));
+                for (ii, c) in acc.iter_mut().enumerate() {
+                    let a = _mm256_set1_ps(*ap.add(ii * k + kk));
+                    *c = _mm256_add_ps(*c, _mm256_mul_ps(a, b0));
+                }
+            }
+            for (ii, c) in acc.iter().enumerate() {
+                _mm256_storeu_ps(op.add((i0 + ii) * n + j0), *c);
+            }
+            j0 += 8;
+        }
+        matmul_panel_tail(apanel, bv, out, i0, j0, k, n);
+    }
+
+    /// Scalar tail columns of a zero-free panel: per element one serial
+    /// k-chain (no skip can fire — the panel was prescanned).
+    #[inline]
+    fn matmul_panel_tail(
+        apanel: &[f32],
+        bv: &[f32],
+        out: &mut [f32],
+        i0: usize,
+        j0: usize,
+        k: usize,
+        n: usize,
+    ) {
+        for ii in 0..MR {
+            for j in j0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += apanel[ii * k + kk] * bv[kk * n + j];
+                }
+                out[(i0 + ii) * n + j] = acc;
+            }
+        }
+    }
+
+    /// AVX2 `MR × NR` tile of the `A·Bᵀ` kernel over a transposed B
+    /// panel (also used by the AVX-512 path — `NR == 8` fits one ymm).
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure `avx2` is available, `apanel.len() == MR*k`,
+    /// `tbuf.len() >= k*NR`, and `out.len() >= (i0+MR)*n` with
+    /// `j0 + NR <= n`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn a_bt_tile_avx2(
+        apanel: &[f32],
+        tbuf: &[f32],
+        out: &mut [f32],
+        i0: usize,
+        j0: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let ap = apanel.as_ptr();
+        let tp = tbuf.as_ptr();
+        let mut acc = [_mm256_setzero_ps(); MR];
+        for kk in 0..k {
+            let b0 = _mm256_loadu_ps(tp.add(kk * NR));
+            for (ii, c) in acc.iter_mut().enumerate() {
+                let a = _mm256_set1_ps(*ap.add(ii * k + kk));
+                *c = _mm256_add_ps(*c, _mm256_mul_ps(a, b0));
+            }
+        }
+        for (ii, c) in acc.iter().enumerate() {
+            _mm256_storeu_ps(out.as_mut_ptr().add((i0 + ii) * n + j0), *c);
+        }
+    }
 }
 
 fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
@@ -168,5 +739,70 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[4, 2]);
         matmul(&a, &b);
+    }
+
+    #[test]
+    fn blocked_kernels_handle_empty_dims() {
+        for (ashape, bshape) in [([0, 3], [3, 2]), ([2, 0], [0, 3]), ([2, 3], [3, 0])] {
+            let a = Tensor::zeros(&ashape);
+            let b = Tensor::zeros(&bshape);
+            let c = matmul_blocked(&a, &b);
+            assert_eq!(c.shape(), &[ashape[0], bshape[1]]);
+            assert_eq!(c, matmul_reference(&a, &b));
+        }
+        // Aᵀ·B and A·Bᵀ with an empty shared dim produce all-zero output.
+        let a = Tensor::zeros(&[0, 2]);
+        let b = Tensor::zeros(&[0, 3]);
+        assert_eq!(matmul_at_b_blocked(&a, &b), matmul_at_b_reference(&a, &b));
+        let a = Tensor::zeros(&[2, 0]);
+        let b = Tensor::zeros(&[3, 0]);
+        assert_eq!(matmul_a_bt_blocked(&a, &b), matmul_a_bt_reference(&a, &b));
+    }
+
+    #[test]
+    fn portable_paths_match_reference_bitwise() {
+        // The portable microkernels are exercised regardless of the
+        // machine's SIMD support: drive them directly on shapes that
+        // hit full tiles, ragged edges, and the staging paths.
+        let fill = |rows: usize, cols: usize, seed: u64| {
+            let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+            let data: Vec<f32> = (0..rows * cols)
+                .map(|_| {
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((s >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+                })
+                .collect();
+            Tensor::from_vec(data, &[rows, cols])
+        };
+        for (m, k, n) in [(4, 5, 8), (4, 3, 11), (9, 4, 8), (12, 7, 19)] {
+            let a = fill(m, k, 1);
+            let b = fill(k, n, 2);
+            let mut out = vec![0.0f32; m * n];
+            let mut i0 = 0;
+            while i0 + MR <= m {
+                matmul_panel_portable(
+                    &a.as_slice()[i0 * k..(i0 + MR) * k],
+                    b.as_slice(),
+                    &mut out,
+                    i0,
+                    k,
+                    n,
+                );
+                i0 += MR;
+            }
+            for i in i0..m {
+                matmul_row_reference(
+                    &a.as_slice()[i * k..(i + 1) * k],
+                    b.as_slice(),
+                    &mut out[i * n..(i + 1) * n],
+                );
+            }
+            let want = matmul_reference(&a, &b);
+            for (x, y) in out.iter().zip(want.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{m}x{k}x{n}");
+            }
+        }
     }
 }

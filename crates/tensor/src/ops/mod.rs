@@ -11,7 +11,11 @@ mod pool;
 mod softmax;
 
 pub use conv::{col2im, conv2d_backward, conv2d_forward, im2col, Conv2dGrads, ConvGeometry};
-pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
+pub use matmul::{
+    matmul, matmul_a_bt, matmul_a_bt_blocked, matmul_a_bt_reference, matmul_at_b,
+    matmul_at_b_blocked, matmul_at_b_reference, matmul_blocked, matmul_reference,
+    naive_kernels_forced,
+};
 pub use pool::{
     avg_pool2d_backward, avg_pool2d_forward, global_avg_pool_backward, global_avg_pool_forward,
     max_pool2d_backward, max_pool2d_forward,

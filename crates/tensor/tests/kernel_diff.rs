@@ -1,0 +1,166 @@
+//! Differential kernel suite: the register-blocked matmul kernels must
+//! be **bit-equal** (`f32::to_bits`) to the naive reference kernels on
+//! every shape — including degenerate dims (1/2/3) and sizes that are
+//! not multiples of the register-tile size — and on inputs salted with
+//! `+0.0` / `-0.0` (the reference kernels skip zero `A` elements, so a
+//! kernel that drops the skip would diverge on signed zeros).
+
+use adaptivefl_tensor::ops::{
+    matmul_a_bt_blocked, matmul_a_bt_reference, matmul_at_b_blocked, matmul_at_b_reference,
+    matmul_blocked, matmul_reference,
+};
+use adaptivefl_tensor::Tensor;
+use proptest::prelude::*;
+
+fn assert_bits_equal(blocked: &Tensor, reference: &Tensor, what: &str) {
+    assert_eq!(blocked.shape(), reference.shape(), "{what}: shape");
+    for (i, (x, y)) in blocked
+        .as_slice()
+        .iter()
+        .zip(reference.as_slice())
+        .enumerate()
+    {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{what}: element {i} differs: blocked {x:?} ({:#010x}) vs reference {y:?} ({:#010x})",
+            x.to_bits(),
+            y.to_bits()
+        );
+    }
+}
+
+/// Deterministic salted matrix fill: mostly smooth values, mixed with
+/// exact `+0.0` / `-0.0` (exercising the zero-skip) and huge/tiny
+/// magnitudes (where any re-association changes the rounding).
+fn matrix(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = (state >> 33) as u32;
+            let v = (r % 8000) as f32 / 1000.0 - 4.0;
+            match r % 10 {
+                0 => 0.0,
+                1 => -0.0,
+                2 => v * 1.0e30,
+                3 => v * 1.0e-30,
+                _ => v,
+            }
+        })
+        .collect();
+    Tensor::from_vec(data, &[rows, cols])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `A·B` over randomized shapes straddling the 4×8 tile size.
+    #[test]
+    fn matmul_blocked_is_bit_equal(
+        m in 1usize..=19, k in 1usize..=19, n in 1usize..=19, seed in 0u64..1 << 60,
+    ) {
+        let a = matrix(m, k, seed);
+        let b = matrix(k, n, seed ^ 0xabcd);
+        assert_bits_equal(&matmul_blocked(&a, &b), &matmul_reference(&a, &b), "matmul");
+    }
+
+    /// `Aᵀ·B` over randomized shapes.
+    #[test]
+    fn matmul_at_b_blocked_is_bit_equal(
+        m in 1usize..=19, k in 1usize..=19, n in 1usize..=19, seed in 0u64..1 << 60,
+    ) {
+        let a = matrix(k, m, seed);
+        let b = matrix(k, n, seed ^ 0xabcd);
+        assert_bits_equal(
+            &matmul_at_b_blocked(&a, &b),
+            &matmul_at_b_reference(&a, &b),
+            "matmul_at_b",
+        );
+    }
+
+    /// `A·Bᵀ` over randomized shapes (no zero-skip in this kernel).
+    #[test]
+    fn matmul_a_bt_blocked_is_bit_equal(
+        m in 1usize..=19, k in 1usize..=19, n in 1usize..=19, seed in 0u64..1 << 60,
+    ) {
+        let a = matrix(m, k, seed);
+        let b = matrix(n, k, seed ^ 0xabcd);
+        assert_bits_equal(
+            &matmul_a_bt_blocked(&a, &b),
+            &matmul_a_bt_reference(&a, &b),
+            "matmul_a_bt",
+        );
+    }
+
+    /// Larger shapes spanning several full tiles plus ragged edges.
+    #[test]
+    fn big_ragged_shapes_are_bit_equal(
+        m in 29usize..=41, k in 17usize..=33, n in 29usize..=41, seed in 0u64..1 << 60,
+    ) {
+        let a = matrix(m, k, seed);
+        let b = matrix(k, n, seed ^ 0xabcd);
+        assert_bits_equal(&matmul_blocked(&a, &b), &matmul_reference(&a, &b), "matmul big");
+    }
+}
+
+/// Exhaustive sweep of every degenerate combination m/k/n ∈ {1, 2, 3}
+/// plus the first non-multiples of the tile dims, on a fixed salted
+/// input pattern.
+#[test]
+fn degenerate_and_off_tile_shapes_are_bit_equal() {
+    let dims = [1usize, 2, 3, 4, 5, 7, 8, 9, 11, 13];
+    for &m in &dims {
+        for &k in &dims {
+            for &n in &dims {
+                let a = matrix(m, k, 5);
+                let b = matrix(k, n, 9);
+                assert_bits_equal(&matmul_blocked(&a, &b), &matmul_reference(&a, &b), "matmul");
+                let at = matrix(k, m, 5);
+                assert_bits_equal(
+                    &matmul_at_b_blocked(&at, &b),
+                    &matmul_at_b_reference(&at, &b),
+                    "matmul_at_b",
+                );
+                let bt = matrix(n, k, 9);
+                assert_bits_equal(
+                    &matmul_a_bt_blocked(&a, &bt),
+                    &matmul_a_bt_reference(&a, &bt),
+                    "matmul_a_bt",
+                );
+            }
+        }
+    }
+}
+
+/// Non-finite values propagate identically (the zero-skip means `0 · ∞`
+/// produces NaN in neither A-side kernel, and a dropped skip would).
+#[test]
+fn non_finite_values_match_bitwise() {
+    let a = Tensor::from_vec(
+        vec![0.0, f32::INFINITY, -0.0, f32::NEG_INFINITY, 1.0, f32::NAN],
+        &[2, 3],
+    );
+    let b = Tensor::from_vec(vec![f32::INFINITY, 0.0, 2.0, -1.0, f32::NAN, -0.0], &[3, 2]);
+    assert_bits_equal(
+        &matmul_blocked(&a, &b),
+        &matmul_reference(&a, &b),
+        "matmul inf",
+    );
+    let at = Tensor::from_vec(
+        vec![0.0, f32::INFINITY, -0.0, f32::NEG_INFINITY, 1.0, f32::NAN],
+        &[3, 2],
+    );
+    assert_bits_equal(
+        &matmul_at_b_blocked(&at, &b),
+        &matmul_at_b_reference(&at, &b),
+        "matmul_at_b inf",
+    );
+    let bt = Tensor::from_vec(vec![f32::INFINITY, 0.0, 2.0, -1.0, f32::NAN, -0.0], &[2, 3]);
+    assert_bits_equal(
+        &matmul_a_bt_blocked(&a, &bt),
+        &matmul_a_bt_reference(&a, &bt),
+        "matmul_a_bt inf",
+    );
+}
