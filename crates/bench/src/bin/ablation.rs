@@ -7,18 +7,14 @@
 //! * **ratio pair** — the (S, M) width ratios around the paper's
 //!   (0.40, 0.66).
 //!
+//! The run grid lives in [`adaptivefl_bench::sweep::grids::ablation`].
+//!
 //! ```text
 //! cargo run --release -p adaptivefl-bench --bin ablation [--full]
 //! ```
 
-use adaptivefl_bench::{
-    experiment_cfg, paper_models, pct, print_table, run_kind, run_method, syn_cifar10, write_json,
-    Args,
-};
-use adaptivefl_core::methods::{AdaptiveFl, MethodKind};
-use adaptivefl_core::select::SelectionStrategy;
-use adaptivefl_core::sim::Simulation;
-use adaptivefl_data::Partition;
+use adaptivefl_bench::sweep::{grids, run_cell_inline};
+use adaptivefl_bench::{pct, print_table, write_json, Args};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -32,84 +28,18 @@ struct AblationResult {
 
 fn main() {
     let args = Args::parse();
-    let spec = syn_cifar10();
-    let [_, (_, resnet)] = paper_models(spec.classes, spec.input);
     let mut results = Vec::new();
-
-    // (a) pool granularity sweep.
-    for p in [1usize, 2, 3, 4] {
-        let mut cfg = experiment_cfg(resnet, &args, false);
-        cfg.p = p;
-        let mut sim = Simulation::prepare(&cfg, &spec, Partition::Dirichlet(0.6));
-        let r = run_kind(
-            &mut sim,
-            MethodKind::AdaptiveFl,
-            &args,
-            &format!("ablation-p{p}"),
-        );
+    for cell in &grids::ablation(args.full, args.seed) {
+        let r = run_cell_inline(cell, &args);
         println!(
-            "p = {p}: full {}%  waste {:.1}%",
+            "{}: full {}%  waste {:.1}%",
+            cell.variant,
             pct(r.best_full_accuracy()),
             100.0 * r.comm_waste_rate()
         );
         results.push(AblationResult {
-            group: "p-sweep".into(),
-            variant: format!("p={p}"),
-            full_acc: r.best_full_accuracy(),
-            avg_acc: r.best_avg_accuracy(),
-            comm_waste: r.comm_waste_rate(),
-        });
-    }
-
-    // (b) reward cap on/off.
-    for (label, cap) in [("cap=0.5 (paper)", 0.5f64), ("cap=1.0 (off)", 1.0)] {
-        let cfg = experiment_cfg(resnet, &args, false);
-        let mut sim = Simulation::prepare(&cfg, &spec, Partition::Dirichlet(0.6));
-        let r = run_method(
-            &mut sim,
-            |env| {
-                Box::new(
-                    AdaptiveFl::new(env, SelectionStrategy::CuriosityAndResource, false)
-                        .with_reward_cap(cap),
-                )
-            },
-            &args,
-            &format!("ablation-cap{cap}"),
-        );
-        println!(
-            "{label}: full {}%  waste {:.1}%",
-            pct(r.best_full_accuracy()),
-            100.0 * r.comm_waste_rate()
-        );
-        results.push(AblationResult {
-            group: "reward-cap".into(),
-            variant: label.into(),
-            full_acc: r.best_full_accuracy(),
-            avg_acc: r.best_avg_accuracy(),
-            comm_waste: r.comm_waste_rate(),
-        });
-    }
-
-    // (c) level width-ratio pairs around the paper's (0.40, 0.66).
-    for ratios in [(0.30f32, 0.55f32), (0.40, 0.66), (0.50, 0.75)] {
-        let mut cfg = experiment_cfg(resnet, &args, false);
-        cfg.ratios = ratios;
-        let mut sim = Simulation::prepare(&cfg, &spec, Partition::Dirichlet(0.6));
-        let label = format!("S={},M={}", ratios.0, ratios.1);
-        let r = run_kind(
-            &mut sim,
-            MethodKind::AdaptiveFl,
-            &args,
-            &format!("ablation-ratios-{label}"),
-        );
-        println!(
-            "{label}: full {}%  waste {:.1}%",
-            pct(r.best_full_accuracy()),
-            100.0 * r.comm_waste_rate()
-        );
-        results.push(AblationResult {
-            group: "ratios".into(),
-            variant: label,
+            group: cell.group.clone(),
+            variant: cell.variant.clone(),
             full_acc: r.best_full_accuracy(),
             avg_acc: r.best_avg_accuracy(),
             comm_waste: r.comm_waste_rate(),

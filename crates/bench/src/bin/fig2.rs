@@ -3,61 +3,43 @@
 //! VGG16, for IID and α = 0.3 — four panels, one CSV series per
 //! (panel, method).
 //!
+//! The run grid lives in [`adaptivefl_bench::sweep::grids::fig2`]
+//! (two panels in fast mode, all four with `--full`).
+//!
 //! ```text
 //! cargo run --release -p adaptivefl-bench --bin fig2 [--full]
 //! ```
 
-use adaptivefl_bench::{
-    experiment_cfg, paper_models, pct, run_kind, syn_cifar10, syn_cifar100, write_csv, Args,
-};
-use adaptivefl_core::methods::MethodKind;
-use adaptivefl_core::sim::Simulation;
-use adaptivefl_data::Partition;
+use adaptivefl_bench::sweep::{grids, run_cell_inline};
+use adaptivefl_bench::{pct, write_csv, Args};
 
 fn main() {
     let args = Args::parse();
-    // Fast mode runs the two most informative panels (easy-IID and
-    // hard-non-IID); --full runs all four of the paper's panels.
-    let mut panels = vec![
-        ("cifar10_iid", syn_cifar10(), Partition::Iid),
-        ("cifar100_a03", syn_cifar100(), Partition::Dirichlet(0.3)),
-    ];
-    if args.full {
-        panels.push(("cifar10_a03", syn_cifar10(), Partition::Dirichlet(0.3)));
-        panels.push(("cifar100_iid", syn_cifar100(), Partition::Iid));
-    }
-
     let mut rows = Vec::new();
-    for (panel, spec, partition) in panels {
-        let [(_, vgg), _] = paper_models(spec.classes, spec.input);
-        let hard = panel.starts_with("cifar100");
-        let mut cfg = experiment_cfg(vgg, &args, hard);
-        cfg.eval_every = (cfg.rounds / 8).max(1); // denser curves
-        println!("\n--- panel {panel} ---");
-        let mut sim = Simulation::prepare(&cfg, &spec, partition);
-        for kind in MethodKind::table2_lineup() {
-            let r = run_kind(&mut sim, kind, &args, &format!("fig2-{panel}-{kind}"));
-            print!("  {:<12}", r.method);
-            for (round, _, avg) in r.curve() {
-                print!(" {}:{}", round + 1, pct(avg));
-                rows.push(format!(
-                    "{panel},{},{},{:.4},{:.4}",
-                    r.method,
-                    round + 1,
-                    avg,
-                    {
-                        let full = r
-                            .evals
-                            .iter()
-                            .find(|e| e.round == round)
-                            .map(|e| e.full)
-                            .unwrap_or(0.0);
-                        full
-                    }
-                ));
-            }
-            println!();
+    let mut current = String::new();
+    for cell in &grids::fig2(args.full, args.seed) {
+        if cell.group != current {
+            println!("\n--- panel {} ---", cell.group);
+            current = cell.group.clone();
         }
+        let r = run_cell_inline(cell, &args);
+        print!("  {:<12}", r.method);
+        for (round, _, avg) in r.curve() {
+            print!(" {}:{}", round + 1, pct(avg));
+            rows.push(format!(
+                "{},{},{},{:.4},{:.4}",
+                cell.group,
+                r.method,
+                round + 1,
+                avg,
+                r.evals
+                    .iter()
+                    .find(|e| e.round == round)
+                    .map(|e| e.full)
+                    .unwrap_or(0.0)
+            ));
+        }
+        println!();
     }
     write_csv("fig2_curves", "panel,method,round,avg_acc,full_acc", &rows);
     println!(

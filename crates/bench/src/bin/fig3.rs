@@ -6,16 +6,14 @@
 //! beat their 0.25× models, while AdaptiveFL's accuracy increases with
 //! submodel size.
 //!
+//! The run grid lives in [`adaptivefl_bench::sweep::grids::fig3`].
+//!
 //! ```text
 //! cargo run --release -p adaptivefl-bench --bin fig3 [--full]
 //! ```
 
-use adaptivefl_bench::{
-    experiment_cfg, paper_models, pct, print_table, run_kind, syn_cifar10, write_json, Args,
-};
-use adaptivefl_core::methods::MethodKind;
-use adaptivefl_core::sim::Simulation;
-use adaptivefl_data::Partition;
+use adaptivefl_bench::sweep::{grids, run_cell_inline};
+use adaptivefl_bench::{pct, print_table, write_json, Args};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -27,21 +25,10 @@ struct LevelPoint {
 
 fn main() {
     let args = Args::parse();
-    let spec = syn_cifar10();
-    let [(_, vgg), _] = paper_models(spec.classes, spec.input);
-    let cfg = experiment_cfg(vgg, &args, false);
-    let methods = [
-        MethodKind::Decoupled,
-        MethodKind::HeteroFl,
-        MethodKind::ScaleFl,
-        MethodKind::AdaptiveFl,
-    ];
-
     let mut points = Vec::new();
     let mut rows = Vec::new();
-    let mut sim = Simulation::prepare(&cfg, &spec, Partition::Iid);
-    for kind in methods {
-        let r = run_kind(&mut sim, kind, &args, &format!("fig3-{kind}"));
+    for cell in &grids::fig3(args.full, args.seed) {
+        let r = run_cell_inline(cell, &args);
         let last = r.evals.last().expect("evaluated");
         let mut row = vec![r.method.clone()];
         for (level, acc) in &last.levels {

@@ -2,50 +2,35 @@
 //! (paper: K = 50/100/200/500 on CIFAR-10 + ResNet18, α = 0.6;
 //! here 25/50/100/200 at reduced scale, same 10 % participation).
 //!
+//! The run grid lives in [`adaptivefl_bench::sweep::grids::fig4`].
+//!
 //! ```text
 //! cargo run --release -p adaptivefl-bench --bin fig4 [--full]
 //! ```
 
-use adaptivefl_bench::{experiment_cfg, paper_models, pct, run_kind, syn_cifar10, write_csv, Args};
-use adaptivefl_core::methods::MethodKind;
-use adaptivefl_core::sim::Simulation;
-use adaptivefl_data::Partition;
+use adaptivefl_bench::sweep::{grids, run_cell_inline};
+use adaptivefl_bench::{pct, write_csv, Args};
 
 fn main() {
     let args = Args::parse();
-    let spec = syn_cifar10();
-    let [_, (_, resnet)] = paper_models(spec.classes, spec.input);
-    let client_counts: &[usize] = if args.full {
-        &[50, 100, 200, 500]
-    } else {
-        &[25, 50, 100]
-    };
-    let methods = [
-        MethodKind::Decoupled,
-        MethodKind::HeteroFl,
-        MethodKind::ScaleFl,
-        MethodKind::AdaptiveFl,
-    ];
-
     let mut rows = Vec::new();
-    for &n in client_counts {
-        let mut cfg = experiment_cfg(resnet, &args, false);
-        cfg.num_clients = n;
-        cfg.clients_per_round = (n / 10).max(2);
-        // Keep the global data volume roughly constant so runs stay
-        // comparable (the paper fixes the dataset and splits it).
-        cfg.samples_per_client = (2500 / n).max(8);
-        println!("\n--- {n} clients (K = {}) ---", cfg.clients_per_round);
-        let mut sim = Simulation::prepare(&cfg, &spec, Partition::Dirichlet(0.6));
-        for kind in methods {
-            let r = run_kind(&mut sim, kind, &args, &format!("fig4-n{n}-{kind}"));
-            print!("  {:<12}", r.method);
-            for (round, full, _) in r.curve() {
-                print!(" {}:{}", round + 1, pct(full));
-                rows.push(format!("{n},{},{},{full:.4}", r.method, round + 1));
-            }
-            println!();
+    let mut current = String::new();
+    for cell in &grids::fig4(args.full, args.seed) {
+        if cell.group != current {
+            println!(
+                "\n--- {} clients (K = {}) ---",
+                cell.cfg.num_clients, cell.cfg.clients_per_round
+            );
+            current = cell.group.clone();
         }
+        let n = cell.cfg.num_clients;
+        let r = run_cell_inline(cell, &args);
+        print!("  {:<12}", r.method);
+        for (round, full, _) in r.curve() {
+            print!(" {}:{}", round + 1, pct(full));
+            rows.push(format!("{n},{},{},{full:.4}", r.method, round + 1));
+        }
+        println!();
     }
     write_csv("fig4_curves", "clients,method,round,full_acc", &rows);
     println!("\nPaper shape to check: AdaptiveFL has the highest curve at every client count.");

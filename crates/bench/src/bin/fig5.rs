@@ -2,17 +2,14 @@
 //! the reduced ResNet18 (IID): (a) communication-waste rate per
 //! AdaptiveFL variant, (b) accuracy of each selection strategy.
 //!
+//! The run grid lives in [`adaptivefl_bench::sweep::grids::fig5`].
+//!
 //! ```text
 //! cargo run --release -p adaptivefl-bench --bin fig5 [--full]
 //! ```
 
-use adaptivefl_bench::{
-    experiment_cfg, paper_models, pct, print_table, run_kind, syn_cifar100, write_json, Args,
-};
-use adaptivefl_core::methods::MethodKind;
-use adaptivefl_core::select::SelectionStrategy;
-use adaptivefl_core::sim::Simulation;
-use adaptivefl_data::Partition;
+use adaptivefl_bench::sweep::{grids, run_cell_inline};
+use adaptivefl_bench::{pct, print_table, write_json, Args};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -27,21 +24,9 @@ struct VariantResult {
 
 fn main() {
     let args = Args::parse();
-    let spec = syn_cifar100();
-    let [_, (_, resnet)] = paper_models(spec.classes, spec.input);
-    let cfg = experiment_cfg(resnet, &args, true);
-    let variants = [
-        MethodKind::AdaptiveFlGreedy,
-        MethodKind::AdaptiveFlVariant(SelectionStrategy::Random),
-        MethodKind::AdaptiveFlVariant(SelectionStrategy::CuriosityOnly),
-        MethodKind::AdaptiveFlVariant(SelectionStrategy::ResourceOnly),
-        MethodKind::AdaptiveFl, // +CS
-    ];
-
     let mut results = Vec::new();
-    let mut sim = Simulation::prepare(&cfg, &spec, Partition::Iid);
-    for kind in variants {
-        let r = run_kind(&mut sim, kind, &args, &format!("fig5-{kind}"));
+    for cell in &grids::fig5(args.full, args.seed) {
+        let r = run_cell_inline(cell, &args);
         results.push(VariantResult {
             variant: r.method.clone(),
             comm_waste: r.comm_waste_rate(),

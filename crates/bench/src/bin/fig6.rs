@@ -2,48 +2,20 @@
 //! 10 Jetson Nano, 3 Jetson Xavier AGX, Table 5), MobileNetV2 on the
 //! Widar stand-in, learning curves against simulated wall-clock time.
 //!
+//! The run grid lives in [`adaptivefl_bench::sweep::grids::fig6`].
+//!
 //! ```text
 //! cargo run --release -p adaptivefl-bench --bin fig6 [--full]
 //! ```
 
-use adaptivefl_bench::{pct, run_kind, syn_widar, write_csv, Args};
-use adaptivefl_core::methods::MethodKind;
-use adaptivefl_core::sim::{SimConfig, Simulation};
-use adaptivefl_data::Partition;
-use adaptivefl_device::testbed::paper_testbed;
-use adaptivefl_models::ModelConfig;
+use adaptivefl_bench::sweep::{grids, run_cell_inline};
+use adaptivefl_bench::{pct, write_csv, Args};
 
 fn main() {
     let args = Args::parse();
-    let spec = syn_widar();
-    let model = ModelConfig {
-        classes: spec.classes,
-        input: spec.input,
-        width_mult: 0.5,
-        ..ModelConfig::mobilenet_v2_fast(spec.classes)
-    };
-
-    let mut cfg = SimConfig::fast(model, args.seed);
-    cfg.num_clients = 17; // Table 5
-    cfg.clients_per_round = 10; // paper: 10 devices per round
-    cfg.rounds = if args.full { 80 } else { 30 };
-    cfg.eval_every = cfg.rounds / 6;
-    cfg.samples_per_client = 40;
-    cfg.test_samples = 300;
-
-    let full_params = model.num_params(&model.full_plan());
-    let methods = [
-        MethodKind::AllLarge,
-        MethodKind::HeteroFl,
-        MethodKind::ScaleFl,
-        MethodKind::AdaptiveFl,
-    ];
-
     let mut rows = Vec::new();
-    for kind in methods {
-        let mut sim = Simulation::prepare(&cfg, &spec, Partition::ByGroup)
-            .with_fleet(paper_testbed(full_params, cfg.seed));
-        let r = run_kind(&mut sim, kind, &args, &format!("fig6-{kind}"));
+    for cell in &grids::fig6(args.full, args.seed) {
+        let r = run_cell_inline(cell, &args);
         println!("\n{} — accuracy vs simulated wall-clock:", r.method);
         for (secs, acc) in r.time_curve() {
             println!("  t = {secs:8.1}s   acc = {:>5}%", pct(acc));

@@ -2,20 +2,85 @@
 //! (`results/SUMMARY.md`) — handy after `./run_experiments.sh`. With
 //! `--resume <dir>` it also reads the newest valid checkpoint of every
 //! run under `<dir>` and reports the persisted histories (method,
-//! completed rounds, best accuracy, communication waste).
+//! completed rounds, best accuracy, communication waste). With
+//! `--sweep <dir>` (default `results/sweep` when it exists) it adds
+//! cross-seed mean±95 % CI tables and the statistical verdict for
+//! every paper claim the sweep covered.
 //!
 //! ```text
-//! cargo run --release -p adaptivefl-bench --bin summarize [--resume <dir>]
+//! cargo run --release -p adaptivefl-bench --bin summarize \
+//!     [--resume <dir>] [--sweep <dir>]
 //! ```
 
 use std::fmt::Write as _;
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
+use adaptivefl_bench::sweep::{evaluate_claims, read_records, summarize_cells};
 use adaptivefl_bench::{results_dir, Args};
 use adaptivefl_core::metrics::RunResult;
 use adaptivefl_store::SnapshotStore;
 use serde_json::Value;
+
+/// Cross-seed section: one mean±CI table per experiment plus the
+/// claim verdicts, all recomputed from the record files so the
+/// section never disagrees with what is on disk.
+fn sweep_section(out: &mut String, dir: &Path, label: &str) {
+    let records = match read_records(dir) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = writeln!(out, "\n## sweep ({label})\n\n*(unreadable: {e})*");
+            return;
+        }
+    };
+    let _ = writeln!(out, "\n## sweep ({label})\n");
+    if records.is_empty() {
+        let _ = writeln!(out, "*(no sweep records — run the `sweep` binary first)*");
+        return;
+    }
+
+    let summaries = summarize_cells(&records);
+    let mut current = "";
+    for s in &summaries {
+        if s.experiment != current {
+            current = &s.experiment;
+            let _ = writeln!(out, "\n### {current} (mean±95 % CI)\n");
+            let _ = writeln!(out, "| cell | seeds | full % | avg % | waste % |");
+            let _ = writeln!(out, "|---|---|---|---|---|");
+        }
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} |",
+            s.slug,
+            s.seeds.len(),
+            s.best_full.pct_pm(),
+            s.best_avg.pct_pm(),
+            s.comm_waste.pct_pm(),
+        );
+    }
+
+    let verdicts = evaluate_claims(&records);
+    let _ = writeln!(out, "\n### verdicts\n");
+    let _ = writeln!(
+        out,
+        "| claim | status | n | wins/losses/ties | p | mean diff |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for c in &verdicts.claims {
+        let _ = writeln!(
+            out,
+            "| {} | **{}** | {} | {}/{}/{} | {:.4} | {:+.4} |",
+            c.id, c.status, c.n, c.wins, c.losses, c.ties, c.p, c.mean_diff,
+        );
+    }
+    let (reproduced, partial, not, no_data) = verdicts.tally();
+    let _ = writeln!(
+        out,
+        "\n*({} claims: {reproduced} reproduced, {partial} partial, {not} not, {no_data} no-data; seeds {:?})*",
+        verdicts.claims.len(),
+        verdicts.seeds,
+    );
+}
 
 /// One markdown table row per run directory under `dir`, built from
 /// each run's newest valid snapshot. Histories round-trip through the
@@ -68,8 +133,27 @@ fn checkpoint_section(out: &mut String, dir: &Path) {
 }
 
 fn main() {
-    let args = Args::parse();
+    let (args, rest) = Args::parse_from(std::env::args().skip(1));
+    let mut sweep_dir: Option<PathBuf> = None;
+    let mut it = rest.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sweep" => {
+                sweep_dir = Some(PathBuf::from(it.next().expect("--sweep needs a directory")))
+            }
+            other => eprintln!("ignoring unknown argument {other}"),
+        }
+    }
     let dir = results_dir();
+    // Default to results/sweep when it exists, so a plain `summarize`
+    // after a sweep picks the statistics up without extra flags. The
+    // label keeps the committed report free of absolute paths.
+    let mut sweep_label = String::from("results/sweep");
+    match &sweep_dir {
+        Some(d) => sweep_label = d.display().to_string(),
+        None if dir.join("sweep").is_dir() => sweep_dir = Some(dir.join("sweep")),
+        None => {}
+    }
     let mut out = String::from("# AdaptiveFL reproduction — results summary\n");
     let mut entries: Vec<_> = fs::read_dir(&dir)
         .expect("results dir readable")
@@ -140,6 +224,10 @@ fn main() {
             "\n*({} entries)*",
             value.as_array().map_or(1, Vec::len)
         );
+    }
+
+    if let Some(sweep) = &sweep_dir {
+        sweep_section(&mut out, sweep, &sweep_label);
     }
 
     if let Some(ckpt_dir) = &args.resume {

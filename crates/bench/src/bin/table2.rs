@@ -2,17 +2,17 @@
 //! SynCIFAR-10 and SynCIFAR-100 (IID, α = 0.6, α = 0.3) and SynFEMNIST
 //! (naturally non-IID), with reduced VGG16 and ResNet18 models.
 //!
+//! The run grid lives in [`adaptivefl_bench::sweep::grids::table2`];
+//! this binary runs it at the single `--seed` — `sweep` runs the same
+//! cells at many seeds.
+//!
 //! ```text
 //! cargo run --release -p adaptivefl-bench --bin table2 [--full]
 //! ```
 
-use adaptivefl_bench::{
-    experiment_cfg, paper_models, pct, print_table, run_kind, syn_cifar10, syn_cifar100,
-    syn_femnist, write_json, Args,
-};
+use adaptivefl_bench::sweep::{grids, run_cell_inline};
+use adaptivefl_bench::{paper_models, pct, print_table, write_json, Args};
 use adaptivefl_core::methods::MethodKind;
-use adaptivefl_core::sim::Simulation;
-use adaptivefl_data::{Partition, SynthSpec};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -25,93 +25,64 @@ struct Cell {
     full: f32,
 }
 
-type DatasetPanel = (&'static str, SynthSpec, Vec<(&'static str, Partition)>);
-
 fn main() {
     let args = Args::parse();
-    let datasets: Vec<DatasetPanel> = vec![
-        (
-            "SynCIFAR-10",
-            syn_cifar10(),
-            vec![
-                ("IID", Partition::Iid),
-                ("a=0.6", Partition::Dirichlet(0.6)),
-                ("a=0.3", Partition::Dirichlet(0.3)),
-            ],
-        ),
-        (
-            "SynCIFAR-100",
-            syn_cifar100(),
-            vec![
-                ("IID", Partition::Iid),
-                ("a=0.6", Partition::Dirichlet(0.6)),
-                ("a=0.3", Partition::Dirichlet(0.3)),
-            ],
-        ),
-        (
-            "SynFEMNIST",
-            syn_femnist(),
-            vec![("writer", Partition::ByGroup)],
-        ),
-    ];
-
     let mut cells: Vec<Cell> = Vec::new();
-    for (ds_name, spec, partitions) in &datasets {
-        for (model_name, model) in paper_models(spec.classes, spec.input) {
-            for (part_name, partition) in partitions {
-                let hard = *ds_name != "SynCIFAR-10";
-                let mut cfg = experiment_cfg(model, &args, hard);
-                if *ds_name == "SynFEMNIST" {
-                    cfg.num_clients = 180; // paper: 180 FEMNIST clients
-                    cfg.clients_per_round = 18;
-                    cfg.rounds = if args.full { 80 } else { 32 };
-                    cfg.eval_every = cfg.rounds / 4;
-                }
-                println!("\n--- {model_name} / {ds_name} / {part_name} ---");
-                let mut sim = Simulation::prepare(&cfg, spec, *partition);
-                for kind in MethodKind::table2_lineup() {
-                    let slug = format!("table2-{model_name}-{ds_name}-{part_name}-{kind}");
-                    let r = run_kind(&mut sim, kind, &args, &slug);
-                    let (avg, full) = (r.best_avg_accuracy(), r.best_full_accuracy());
-                    println!(
-                        "  {:<12} avg {:>5}%  full {:>5}%",
-                        r.method,
-                        pct(avg),
-                        pct(full)
-                    );
-                    cells.push(Cell {
-                        model: model_name.to_string(),
-                        dataset: ds_name.to_string(),
-                        partition: part_name.to_string(),
-                        method: r.method,
-                        avg,
-                        full,
-                    });
-                }
-            }
+    let mut current_panel = String::new();
+    for cell in &grids::table2(args.full, args.seed) {
+        let panel = format!(
+            "{} / {} / {}",
+            cell.model, cell.dataset, cell.partition_label
+        );
+        if panel != current_panel {
+            println!("\n--- {panel} ---");
+            current_panel = panel;
         }
+        let r = run_cell_inline(cell, &args);
+        let (avg, full) = (r.best_avg_accuracy(), r.best_full_accuracy());
+        println!(
+            "  {:<12} avg {:>5}%  full {:>5}%",
+            r.method,
+            pct(avg),
+            pct(full)
+        );
+        cells.push(Cell {
+            model: cell.model.clone(),
+            dataset: cell.dataset.clone(),
+            partition: cell.partition_label.clone(),
+            method: r.method,
+            avg,
+            full,
+        });
     }
 
     // Paper-shaped summary table: one row per (model, method), columns
     // per dataset/partition, each cell "avg/full".
+    let columns = [
+        ("SynCIFAR-10", "IID"),
+        ("SynCIFAR-10", "a=0.6"),
+        ("SynCIFAR-10", "a=0.3"),
+        ("SynCIFAR-100", "IID"),
+        ("SynCIFAR-100", "a=0.6"),
+        ("SynCIFAR-100", "a=0.3"),
+        ("SynFEMNIST", "writer"),
+    ];
     let mut rows = Vec::new();
     for (model_name, _) in paper_models(10, (3, 8, 8)) {
         for kind in MethodKind::table2_lineup() {
             let method = kind.to_string();
             let mut row = vec![model_name.to_string(), method.clone()];
-            for (ds_name, _, partitions) in &datasets {
-                for (part_name, _) in partitions {
-                    let cell = cells.iter().find(|c| {
-                        c.model == model_name
-                            && c.method == method
-                            && &c.dataset == ds_name
-                            && &c.partition == part_name
-                    });
-                    row.push(match cell {
-                        Some(c) => format!("{}/{}", pct(c.avg), pct(c.full)),
-                        None => "-".into(),
-                    });
-                }
+            for (ds_name, part_name) in columns {
+                let cell = cells.iter().find(|c| {
+                    c.model == model_name
+                        && c.method == method
+                        && c.dataset == ds_name
+                        && c.partition == part_name
+                });
+                row.push(match cell {
+                    Some(c) => format!("{}/{}", pct(c.avg), pct(c.full)),
+                    None => "-".into(),
+                });
             }
             rows.push(row);
         }

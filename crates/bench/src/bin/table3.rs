@@ -2,16 +2,14 @@
 //! proportions (4:3:3, 8:1:1, 1:8:1, 1:1:8) on SynCIFAR-10 with the
 //! reduced VGG16.
 //!
+//! The run grid lives in [`adaptivefl_bench::sweep::grids::table3`].
+//!
 //! ```text
 //! cargo run --release -p adaptivefl-bench --bin table3 [--full]
 //! ```
 
-use adaptivefl_bench::{
-    experiment_cfg, paper_models, pct, print_table, run_kind, syn_cifar10, write_json, Args,
-};
-use adaptivefl_core::methods::MethodKind;
-use adaptivefl_core::sim::Simulation;
-use adaptivefl_data::Partition;
+use adaptivefl_bench::sweep::{grids, run_cell_inline};
+use adaptivefl_bench::{pct, print_table, write_json, Args};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -24,54 +22,41 @@ struct Cell {
 
 fn main() {
     let args = Args::parse();
-    let spec = syn_cifar10();
-    let [(_, vgg), _] = paper_models(spec.classes, spec.input);
-    let proportions: [(&str, (usize, usize, usize)); 4] = [
-        ("4:3:3", (4, 3, 3)),
-        ("8:1:1", (8, 1, 1)),
-        ("1:8:1", (1, 8, 1)),
-        ("1:1:8", (1, 1, 8)),
-    ];
-    let methods = [
-        MethodKind::AllLarge,
-        MethodKind::HeteroFl,
-        MethodKind::ScaleFl,
-        MethodKind::AdaptiveFl,
-    ];
+    let grid = grids::table3(args.full, args.seed);
 
     let mut cells = Vec::new();
-    for (pname, prop) in proportions {
-        let mut cfg = experiment_cfg(vgg, &args, false);
-        cfg.proportions = prop;
-        println!("\n--- proportion {pname} ---");
-        let mut sim = Simulation::prepare(&cfg, &spec, Partition::Iid);
-        for kind in methods {
-            let r = run_kind(&mut sim, kind, &args, &format!("table3-{pname}-{kind}"));
-            let (avg, full) = (r.best_avg_accuracy(), r.best_full_accuracy());
-            println!(
-                "  {:<12} avg {:>5}%  full {:>5}%",
-                r.method,
-                pct(avg),
-                pct(full)
-            );
-            cells.push(Cell {
-                proportion: pname.to_string(),
-                method: r.method,
-                avg,
-                full,
-            });
+    let mut current = String::new();
+    for cell in &grid {
+        if cell.group != current {
+            println!("\n--- proportion {} ---", cell.group);
+            current = cell.group.clone();
         }
+        let r = run_cell_inline(cell, &args);
+        let (avg, full) = (r.best_avg_accuracy(), r.best_full_accuracy());
+        println!(
+            "  {:<12} avg {:>5}%  full {:>5}%",
+            r.method,
+            pct(avg),
+            pct(full)
+        );
+        cells.push(Cell {
+            proportion: cell.group.clone(),
+            method: r.method,
+            avg,
+            full,
+        });
     }
 
+    let proportions = ["4:3:3", "8:1:1", "1:8:1", "1:1:8"];
+    let methods = ["All-Large", "HeteroFL", "ScaleFL", "AdaptiveFL"];
     let rows: Vec<Vec<String>> = methods
         .iter()
-        .map(|kind| {
-            let name = kind.to_string();
-            let mut row = vec![name.clone()];
-            for (pname, _) in proportions {
+        .map(|name| {
+            let mut row = vec![name.to_string()];
+            for pname in proportions {
                 let c = cells
                     .iter()
-                    .find(|c| c.method == name && c.proportion == pname)
+                    .find(|c| c.method == *name && c.proportion == pname)
                     .expect("cell exists");
                 row.push(format!("{}/{}", pct(c.avg), pct(c.full)));
             }

@@ -2,17 +2,14 @@
 //! ablation of AdaptiveFL on SynCIFAR-10 and SynCIFAR-100 with both
 //! reduced models.
 //!
+//! The run grid lives in [`adaptivefl_bench::sweep::grids::table4`].
+//!
 //! ```text
 //! cargo run --release -p adaptivefl-bench --bin table4 [--full]
 //! ```
 
-use adaptivefl_bench::{
-    experiment_cfg, paper_models, pct, print_table, run_kind, syn_cifar10, syn_cifar100,
-    write_json, Args,
-};
-use adaptivefl_core::methods::MethodKind;
-use adaptivefl_core::sim::Simulation;
-use adaptivefl_data::Partition;
+use adaptivefl_bench::sweep::{grids, run_cell_inline};
+use adaptivefl_bench::{pct, print_table, write_json, Args};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -26,49 +23,34 @@ struct Cell {
 
 fn main() {
     let args = Args::parse();
-    let partitions = [
-        ("IID", Partition::Iid),
-        ("a=0.6", Partition::Dirichlet(0.6)),
-        ("a=0.3", Partition::Dirichlet(0.3)),
-    ];
     let mut cells = Vec::new();
-
-    for (ds_name, spec) in [
-        ("SynCIFAR-10", syn_cifar10()),
-        ("SynCIFAR-100", syn_cifar100()),
-    ] {
-        for (model_name, model) in paper_models(spec.classes, spec.input) {
-            for (part_name, partition) in partitions {
-                for (grained, p) in [("coarse", 1usize), ("fine", 3usize)] {
-                    let hard = ds_name != "SynCIFAR-10";
-                    let mut cfg = experiment_cfg(model, &args, hard);
-                    cfg.p = p;
-                    let mut sim = Simulation::prepare(&cfg, &spec, partition);
-                    let slug = format!("table4-{model_name}-{ds_name}-{part_name}-{grained}");
-                    let r = run_kind(&mut sim, MethodKind::AdaptiveFl, &args, &slug);
-                    let full = r.best_full_accuracy();
-                    println!(
-                        "{ds_name} / {model_name} / {part_name} / {grained}: {}%",
-                        pct(full)
-                    );
-                    cells.push(Cell {
-                        dataset: ds_name.to_string(),
-                        model: model_name.to_string(),
-                        grained: grained.to_string(),
-                        partition: part_name.to_string(),
-                        full,
-                    });
-                }
-            }
-        }
+    for cell in &grids::table4(args.full, args.seed) {
+        let r = run_cell_inline(cell, &args);
+        let full = r.best_full_accuracy();
+        println!(
+            "{} / {} / {} / {}: {}%",
+            cell.dataset,
+            cell.model,
+            cell.partition_label,
+            cell.variant,
+            pct(full)
+        );
+        cells.push(Cell {
+            dataset: cell.dataset.clone(),
+            model: cell.model.clone(),
+            grained: cell.variant.clone(),
+            partition: cell.partition_label.clone(),
+            full,
+        });
     }
 
+    let partitions = ["IID", "a=0.6", "a=0.3"];
     let mut rows = Vec::new();
     for ds in ["SynCIFAR-10", "SynCIFAR-100"] {
         for model in ["VGG16", "ResNet18"] {
             for grained in ["coarse", "fine"] {
                 let mut row = vec![ds.to_string(), model.to_string(), grained.to_string()];
-                for (part_name, _) in partitions {
+                for part_name in partitions {
                     let c = cells
                         .iter()
                         .find(|c| {

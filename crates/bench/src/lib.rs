@@ -12,6 +12,13 @@
 //! `--trace <dir>` to stream one `.jsonl` trace per run into `<dir>`
 //! (render them with the `trace_report` bin); the default fast mode is
 //! calibrated for a single CPU core.
+//!
+//! Each experiment's grid of runs is exposed as data by
+//! [`sweep::grids`], and the `sweep` binary runs any subset of the
+//! grids as `cells × seeds` parallel jobs with statistical aggregation
+//! (see the [`sweep`] module).
+
+pub mod sweep;
 
 use std::fs;
 use std::path::PathBuf;
@@ -30,13 +37,20 @@ use serde::Serialize;
 /// Rounds between checkpoints when `--resume` is active.
 pub const CHECKPOINT_EVERY: usize = 5;
 
-/// Command-line options shared by every experiment binary.
+/// Command-line options shared by every experiment binary — one
+/// parser for the whole suite, so no bin hand-rolls its own flag loop.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Args {
     /// Larger, slower configuration (more rounds/samples).
     pub full: bool,
     /// Master seed.
     pub seed: u64,
+    /// Seeds to sweep (`--seeds <n>` expands to `seed..seed+n`,
+    /// `--seeds a,b,c` is an explicit list). Defaults to `[seed]`.
+    pub seeds: Vec<u64>,
+    /// Parallel sweep jobs (`--jobs <n>`); `None` lets the sweep
+    /// engine pick the hardware default. Single-run bins ignore it.
+    pub jobs: Option<usize>,
     /// Checkpoint directory: every run checkpoints into its own
     /// subdirectory and resumes from it after an interruption.
     pub resume: Option<PathBuf>,
@@ -45,41 +59,79 @@ pub struct Args {
     pub trace: Option<PathBuf>,
 }
 
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            full: false,
+            seed: 2024,
+            seeds: vec![2024],
+            jobs: None,
+            resume: None,
+            trace: None,
+        }
+    }
+}
+
 impl Args {
-    /// Parses `--full`, `--seed <n>`, `--resume <dir>` and
-    /// `--trace <dir>` from `std::env::args`.
+    /// Parses the shared flags (`--full`, `--seed <n>`, `--seeds
+    /// <n|a,b,c>`, `--jobs <n>`, `--resume <dir>`, `--trace <dir>`)
+    /// from `std::env::args`, warning about anything unrecognised.
     pub fn parse() -> Self {
-        let mut full = false;
-        let mut seed = 2024u64;
-        let mut resume = None;
-        let mut trace = None;
-        let mut it = std::env::args().skip(1);
+        let (args, rest) = Self::parse_from(std::env::args().skip(1));
+        for a in rest {
+            eprintln!("ignoring unknown argument {a}");
+        }
+        args
+    }
+
+    /// The testable core of [`Args::parse`]: consumes the shared flags
+    /// and returns everything it did not recognise (binary-specific
+    /// flags like the sweep's `--out`) in input order.
+    ///
+    /// `--seeds` accepts either a count (`--seeds 3` sweeps `seed`,
+    /// `seed+1`, `seed+2`, regardless of flag order relative to
+    /// `--seed`) or an explicit comma-separated list (`--seeds 7,9`).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> (Self, Vec<String>) {
+        let mut out = Args::default();
+        let mut seeds_spec: Option<String> = None;
+        let mut rest = Vec::new();
+        let mut it = args.into_iter();
         while let Some(a) = it.next() {
             match a.as_str() {
-                "--full" => full = true,
+                "--full" => out.full = true,
                 "--seed" => {
-                    seed = it
+                    out.seed = it
                         .next()
                         .and_then(|v| v.parse().ok())
                         .expect("--seed needs an integer");
                 }
+                "--seeds" => {
+                    seeds_spec = Some(it.next().expect("--seeds needs a count or a,b,c list"));
+                }
+                "--jobs" => {
+                    let n: usize = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--jobs needs a positive integer");
+                    assert!(n > 0, "--jobs needs a positive integer");
+                    out.jobs = Some(n);
+                }
                 "--resume" => {
-                    resume = Some(PathBuf::from(
+                    out.resume = Some(PathBuf::from(
                         it.next().expect("--resume needs a directory"),
                     ));
                 }
                 "--trace" => {
-                    trace = Some(PathBuf::from(it.next().expect("--trace needs a directory")));
+                    out.trace = Some(PathBuf::from(it.next().expect("--trace needs a directory")));
                 }
-                other => eprintln!("ignoring unknown argument {other}"),
+                _ => rest.push(a),
             }
         }
-        Args {
-            full,
-            seed,
-            resume,
-            trace,
-        }
+        out.seeds = match seeds_spec {
+            None => vec![out.seed],
+            Some(spec) => parse_seed_spec(&spec, out.seed),
+        };
+        (out, rest)
     }
 
     fn store_for(&self, slug: &str) -> Option<SnapshotStore> {
@@ -99,6 +151,28 @@ impl Args {
     }
 }
 
+/// Resolves a `--seeds` argument: a bare count expands to consecutive
+/// seeds from `base`, a comma-separated list is taken verbatim.
+///
+/// # Panics
+///
+/// Panics on an empty list, a zero count, or unparseable integers.
+fn parse_seed_spec(spec: &str, base: u64) -> Vec<u64> {
+    if spec.contains(',') {
+        let seeds: Vec<u64> = spec
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| s.trim().parse().expect("--seeds list needs integers"))
+            .collect();
+        assert!(!seeds.is_empty(), "--seeds list must not be empty");
+        seeds
+    } else {
+        let n: u64 = spec.parse().expect("--seeds needs a count or a,b,c list");
+        assert!(n > 0, "--seeds count must be positive");
+        (0..n).map(|i| base + i).collect()
+    }
+}
+
 /// Filesystem-safe form of a run slug: ASCII-lowercased with every
 /// non-alphanumeric character folded to `-`.
 pub fn sanitize_slug(slug: &str) -> String {
@@ -113,7 +187,7 @@ pub fn sanitize_slug(slug: &str) -> String {
         .collect()
 }
 
-fn finish_trace(tracer: Option<Arc<JsonlTracer>>) {
+pub(crate) fn finish_trace(tracer: Option<Arc<JsonlTracer>>) {
     if let Some(t) = tracer {
         t.flush().expect("flushing trace file");
         if t.had_errors() {
@@ -301,8 +375,14 @@ pub fn paper_models(
 /// doubles the round budget for the many-class tasks (SynCIFAR-100,
 /// SynFEMNIST), which need longer to separate methods.
 pub fn experiment_cfg(model: ModelConfig, args: &Args, hard: bool) -> SimConfig {
-    let mut cfg = SimConfig::fast(model, args.seed);
-    if args.full {
+    experiment_cfg_for(model, args.full, args.seed, hard)
+}
+
+/// [`experiment_cfg`] with the knobs spelled out — the form the sweep
+/// grids use (they have no [`Args`]).
+pub fn experiment_cfg_for(model: ModelConfig, full: bool, seed: u64, hard: bool) -> SimConfig {
+    let mut cfg = SimConfig::fast(model, seed);
+    if full {
         cfg.rounds = if hard { 100 } else { 60 };
         cfg.samples_per_client = 50;
         cfg.test_samples = 600;
@@ -334,10 +414,8 @@ mod tests {
         let fast = experiment_cfg(
             m,
             &Args {
-                full: false,
                 seed: 1,
-                resume: None,
-                trace: None,
+                ..Args::default()
             },
             false,
         );
@@ -346,13 +424,77 @@ mod tests {
             &Args {
                 full: true,
                 seed: 1,
-                resume: None,
-                trace: None,
+                ..Args::default()
             },
             true,
         );
         assert!(full.rounds > fast.rounds);
         assert!(full.samples_per_client > fast.samples_per_client);
+    }
+
+    fn parse(words: &[&str]) -> (Args, Vec<String>) {
+        Args::parse_from(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn args_defaults() {
+        let (a, rest) = parse(&[]);
+        assert_eq!(a, Args::default());
+        assert_eq!(a.seeds, vec![2024]);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn args_parse_all_shared_flags() {
+        let (a, rest) = parse(&[
+            "--full", "--seed", "7", "--seeds", "3", "--jobs", "4", "--resume", "/tmp/ck",
+            "--trace", "/tmp/tr",
+        ]);
+        assert!(a.full);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.seeds, vec![7, 8, 9]);
+        assert_eq!(a.jobs, Some(4));
+        assert_eq!(a.resume.as_deref(), Some(std::path::Path::new("/tmp/ck")));
+        assert_eq!(a.trace.as_deref(), Some(std::path::Path::new("/tmp/tr")));
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn args_seeds_count_expands_from_seed_regardless_of_flag_order() {
+        let (a, _) = parse(&["--seeds", "2", "--seed", "100"]);
+        assert_eq!(a.seeds, vec![100, 101]);
+        let (b, _) = parse(&["--seed", "100", "--seeds", "2"]);
+        assert_eq!(b.seeds, vec![100, 101]);
+    }
+
+    #[test]
+    fn args_seeds_explicit_list() {
+        let (a, _) = parse(&["--seeds", "5,9,13"]);
+        assert_eq!(a.seeds, vec![5, 9, 13]);
+        let (b, _) = parse(&["--seeds", " 5, 9 ,13"]);
+        assert_eq!(b.seeds, vec![5, 9, 13]);
+    }
+
+    #[test]
+    fn args_unknown_flags_are_returned_in_order() {
+        let (a, rest) = parse(&["--out", "/tmp/x", "--seed", "3", "--tiny"]);
+        assert_eq!(a.seed, 3);
+        assert_eq!(
+            rest,
+            vec!["--out".to_string(), "/tmp/x".into(), "--tiny".into()]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "--seeds")]
+    fn args_rejects_zero_seed_count() {
+        parse(&["--seeds", "0"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--jobs")]
+    fn args_rejects_zero_jobs() {
+        parse(&["--jobs", "0"]);
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! The persisted result of one `(cell, seed)` job.
+
+use adaptivefl_core::metrics::RunResult;
+use serde::{Deserialize, Serialize};
+
+use super::cell::Cell;
+
+/// Schema version of [`CellRecord`]; bump on breaking layout changes.
+pub const RECORD_VERSION: u32 = 1;
+
+/// One point of the accuracy-over-time curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Round the evaluation was taken after.
+    pub round: usize,
+    /// Cumulative simulated seconds at that round.
+    pub secs: f64,
+    /// Global (full) model accuracy.
+    pub full: f64,
+    /// Mean per-level submodel accuracy.
+    pub avg: f64,
+}
+
+/// Everything the statistics and verdict layers need from one run,
+/// written as `results/sweep/<slug>/<seed>.json`. Carries no
+/// timestamps or host information: re-running the same sweep must
+/// reproduce the file byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// Schema version ([`RECORD_VERSION`]).
+    pub version: u32,
+    /// Owning experiment (`"table2"`, …).
+    pub experiment: String,
+    /// Grid-unique cell identifier.
+    pub slug: String,
+    /// Comparison-panel key (cells sharing it are paired).
+    pub group: String,
+    /// Method display name.
+    pub method: String,
+    /// Model family label.
+    pub model: String,
+    /// Dataset label.
+    pub dataset: String,
+    /// Partition label.
+    pub partition: String,
+    /// Experiment-specific axis label.
+    pub variant: String,
+    /// The job's master seed.
+    pub seed: u64,
+    /// Best full-model accuracy over evaluation snapshots.
+    pub best_full: f64,
+    /// Best mean-over-levels accuracy over snapshots.
+    pub best_avg: f64,
+    /// Final full-model accuracy.
+    pub final_full: f64,
+    /// Final mean-over-levels accuracy.
+    pub final_avg: f64,
+    /// Communication-waste rate (paper §4.4).
+    pub comm_waste: f64,
+    /// Total simulated wall-clock seconds.
+    pub sim_secs: f64,
+    /// Final per-level submodel accuracies.
+    pub levels: Vec<(String, f64)>,
+    /// Accuracy-over-rounds curve (one point per evaluation).
+    pub curve: Vec<CurvePoint>,
+    /// FNV-1a hash of [`RunResult::fingerprint`] — a compact run
+    /// identity for determinism checks across thread counts.
+    pub fingerprint_fnv: u64,
+}
+
+impl CellRecord {
+    /// Distils a finished run into its record.
+    pub fn new(cell: &Cell, seed: u64, result: &RunResult) -> Self {
+        let mut secs = 0.0;
+        let mut secs_at = vec![0.0; result.rounds.len() + 1];
+        for (i, r) in result.rounds.iter().enumerate() {
+            secs += r.sim_secs;
+            secs_at[i + 1] = secs;
+        }
+        let curve = result
+            .evals
+            .iter()
+            .map(|e| CurvePoint {
+                round: e.round,
+                secs: secs_at[e.round.min(result.rounds.len())],
+                full: f64::from(e.full),
+                avg: f64::from(e.avg()),
+            })
+            .collect();
+        let levels = result
+            .evals
+            .last()
+            .map(|e| {
+                e.levels
+                    .iter()
+                    .map(|(n, a)| (n.clone(), f64::from(*a)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        CellRecord {
+            version: RECORD_VERSION,
+            experiment: cell.experiment.to_string(),
+            slug: cell.slug.clone(),
+            group: cell.group.clone(),
+            method: cell.method(),
+            model: cell.model.clone(),
+            dataset: cell.dataset.clone(),
+            partition: cell.partition_label.clone(),
+            variant: cell.variant.clone(),
+            seed,
+            best_full: f64::from(result.best_full_accuracy()),
+            best_avg: f64::from(result.best_avg_accuracy()),
+            final_full: f64::from(result.final_full_accuracy()),
+            final_avg: f64::from(result.final_avg_accuracy()),
+            comm_waste: result.comm_waste_rate(),
+            sim_secs: result.total_sim_secs(),
+            levels,
+            curve,
+            fingerprint_fnv: fnv1a(result.fingerprint().as_bytes()),
+        }
+    }
+
+    /// Total variation of the avg-accuracy curve — the "fluctuation"
+    /// quantity behind the paper's Figure 2 stability claim.
+    pub fn avg_curve_variation(&self) -> f64 {
+        self.curve
+            .windows(2)
+            .map(|w| (w[1].avg - w[0].avg).abs())
+            .sum()
+    }
+}
+
+/// 64-bit FNV-1a over a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptivefl_core::metrics::{EvalRecord, RoundRecord, RunResult};
+
+    fn eval(round: usize, full: f32, levels: &[f32]) -> EvalRecord {
+        EvalRecord {
+            round,
+            full,
+            levels: levels
+                .iter()
+                .enumerate()
+                .map(|(i, a)| (format!("L{i}"), *a))
+                .collect(),
+        }
+    }
+
+    fn round(sim_secs: f64) -> RoundRecord {
+        RoundRecord {
+            round: 0,
+            sent_params: 0,
+            returned_params: 0,
+            train_loss: 0.0,
+            sim_secs,
+            failures: 0,
+            comm: Default::default(),
+        }
+    }
+
+    fn sample_result() -> RunResult {
+        RunResult::from_history(
+            "M",
+            vec![round(1.0), round(2.0), round(3.0)],
+            vec![eval(2, 0.5, &[0.4, 0.6]), eval(3, 0.6, &[0.5, 0.7])],
+        )
+    }
+
+    fn sample_cell() -> Cell {
+        use adaptivefl_core::methods::MethodKind;
+        use adaptivefl_core::sim::SimConfig;
+        use adaptivefl_data::Partition;
+        let spec = crate::syn_cifar10();
+        let mut cfg = SimConfig::quick_test(1);
+        cfg.model.input = spec.input;
+        cfg.model.classes = spec.classes;
+        Cell::new(
+            "fig3",
+            "fig3-test",
+            spec,
+            Partition::Iid,
+            cfg,
+            super::super::cell::CellRun::Kind(MethodKind::AdaptiveFl),
+        )
+        .group("fig3")
+    }
+
+    #[test]
+    fn record_distils_metrics_and_curve() {
+        let rec = CellRecord::new(&sample_cell(), 7, &sample_result());
+        assert_eq!(rec.seed, 7);
+        assert_eq!(rec.curve.len(), 2);
+        assert!((rec.curve[0].secs - 3.0).abs() < 1e-12);
+        assert!((rec.curve[1].secs - 6.0).abs() < 1e-12);
+        assert!((rec.best_full - 0.6).abs() < 1e-6);
+        assert!((rec.final_avg - 0.6).abs() < 1e-6);
+        assert_eq!(rec.levels.len(), 2);
+        assert!((rec.sim_secs - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let rec = CellRecord::new(&sample_cell(), 3, &sample_result());
+        let text = serde_json::to_string_pretty(&rec).unwrap();
+        let back: CellRecord = serde_json::from_str(&text).unwrap();
+        assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn fingerprint_hash_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(
+            fnv1a(sample_result().fingerprint().as_bytes()),
+            fnv1a(sample_result().fingerprint().as_bytes())
+        );
+    }
+
+    #[test]
+    fn curve_variation_sums_absolute_steps() {
+        let mut rec = CellRecord::new(&sample_cell(), 1, &sample_result());
+        rec.curve[0].avg = 0.5;
+        rec.curve[1].avg = 0.3;
+        assert!((rec.avg_curve_variation() - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the sweep's statistics primitives: degenerate
+//! confidence intervals, exact permutation invariance, and the sign
+//! test against a brute-force binomial reference.
+
+use adaptivefl_bench::sweep::{SampleStats, SignTest};
+use proptest::prelude::*;
+
+/// Applies a drawn sequence of index swaps — a poor man's shuffle
+/// that still reaches arbitrary permutations.
+fn permute(mut xs: Vec<f64>, swaps: &[(usize, usize)]) -> Vec<f64> {
+    let n = xs.len();
+    if n > 0 {
+        for &(a, b) in swaps {
+            xs.swap(a % n, b % n);
+        }
+    }
+    xs
+}
+
+/// Exact two-sided sign-test p-value by enumerating all `2^n`
+/// equally likely sign patterns: `min(1, 2·P[X ≤ k])`.
+fn exhaustive_p(k: usize, n: usize) -> f64 {
+    assert!(n <= 12 && n > 0);
+    let le_k = (0u32..(1u32 << n))
+        .filter(|mask| (mask.count_ones() as usize) <= k)
+        .count();
+    (2.0 * le_k as f64 / (1u64 << n) as f64).min(1.0)
+}
+
+proptest! {
+    /// Identical samples carry no spread: std = 0, zero-width CI,
+    /// mean exactly the constant.
+    #[test]
+    fn constant_samples_have_zero_width_ci(
+        value in -1e6f64..1e6,
+        n in 1usize..40,
+    ) {
+        let s = SampleStats::from_samples(&vec![value; n]);
+        prop_assert_eq!(s.n, n);
+        prop_assert_eq!(s.mean, value);
+        prop_assert_eq!(s.std, 0.0);
+        prop_assert_eq!(s.ci95, 0.0);
+    }
+
+    /// Reordering samples changes nothing, bit for bit — the stats
+    /// sort internally before any floating-point reduction.
+    #[test]
+    fn stats_are_exactly_permutation_invariant(
+        xs in prop::collection::vec(-1e3f64..1e3, 0..24),
+        swaps in prop::collection::vec((0usize..64, 0usize..64), 0..40),
+    ) {
+        let base = SampleStats::from_samples(&xs);
+        let shuffled = SampleStats::from_samples(&permute(xs.clone(), &swaps));
+        prop_assert_eq!(base.mean.to_bits(), shuffled.mean.to_bits());
+        prop_assert_eq!(base.std.to_bits(), shuffled.std.to_bits());
+        prop_assert_eq!(base.ci95.to_bits(), shuffled.ci95.to_bits());
+    }
+
+    /// The CI half-width is non-negative and grows with the spread's
+    /// scale: scaling all samples by c scales std and ci by |c|.
+    #[test]
+    fn ci_scales_with_the_data(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..16),
+        scale in 0.25f64..8.0,
+    ) {
+        let base = SampleStats::from_samples(&xs);
+        prop_assert!(base.ci95 >= 0.0);
+        let scaled: Vec<f64> = xs.iter().map(|x| x * scale).collect();
+        let s = SampleStats::from_samples(&scaled);
+        prop_assert!((s.std - base.std * scale).abs() <= 1e-9 * (1.0 + base.std * scale));
+        prop_assert!((s.ci95 - base.ci95 * scale).abs() <= 1e-9 * (1.0 + base.ci95 * scale));
+    }
+
+    /// The closed-form sign-test p-value matches brute-force
+    /// enumeration of all `2^n` sign patterns for every n ≤ 12.
+    #[test]
+    fn sign_test_matches_exhaustive_enumeration(
+        signs in prop::collection::vec(0u8..2, 1..13),
+    ) {
+        let diffs: Vec<f64> = signs.iter().map(|s| if *s == 1 { 1.0 } else { -1.0 }).collect();
+        let t = SignTest::from_diffs(&diffs);
+        prop_assert_eq!(t.wins + t.losses, diffs.len());
+        prop_assert_eq!(t.ties, 0);
+        let reference = exhaustive_p(t.wins.min(t.losses), diffs.len());
+        prop_assert!(
+            (t.p - reference).abs() < 1e-12,
+            "n={} k={} p={} ref={}", diffs.len(), t.wins.min(t.losses), t.p, reference
+        );
+    }
+
+    /// Zero differences are ties: excluded from the test and never
+    /// able to push p below what the non-tied pairs justify.
+    #[test]
+    fn ties_are_excluded(
+        signs in prop::collection::vec(0u8..2, 1..10),
+        zeros in 1usize..6,
+    ) {
+        let mut diffs: Vec<f64> = signs.iter().map(|s| if *s == 1 { 2.5 } else { -2.5 }).collect();
+        let without = SignTest::from_diffs(&diffs);
+        diffs.extend(std::iter::repeat_n(0.0, zeros));
+        let with = SignTest::from_diffs(&diffs);
+        prop_assert_eq!(with.wins, without.wins);
+        prop_assert_eq!(with.losses, without.losses);
+        prop_assert_eq!(with.ties, zeros);
+        prop_assert!((with.p - without.p).abs() < 1e-15);
+    }
+}

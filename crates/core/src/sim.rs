@@ -78,6 +78,18 @@ impl SimConfig {
         }
     }
 
+    /// The same configuration re-keyed to a different master seed —
+    /// the per-job seeding hook of the multi-seed sweep engine. Every
+    /// random stream (data synthesis, fleet, method RNGs, per-client
+    /// training streams) derives from `cfg.seed`, so two jobs built
+    /// from the same cell at different seeds share nothing but the
+    /// configuration shape.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
     /// A minimal configuration for unit/integration tests (seconds, not
     /// minutes).
     pub fn quick_test(seed: u64) -> Self {

@@ -8,7 +8,14 @@
 # run from its newest valid snapshot instead of starting over. With
 # --trace each run streams a .jsonl trace into <dir>, and the script
 # renders a combined trace_report at the end.
-set -u
+#
+# For multi-seed statistics with confidence intervals and verdicts,
+# run the sweep engine instead:
+#   ./target/release/sweep --seeds 3 --jobs "$(nproc)"
+#
+# pipefail matters: every run is piped through tee, and without it a
+# crashed experiment would vanish into tee's exit status 0.
+set -uo pipefail
 cd /root/repo
 mkdir -p results/logs
 
@@ -25,12 +32,21 @@ done
 
 for exp in table1 table2 table3 table4 fig2 fig3 fig4 fig5 fig6 ablation; do
     echo "=== running $exp ($(date +%H:%M:%S)) ==="
-    ./target/release/$exp "$@" 2>&1 | tee results/logs/$exp.log
+    if ! ./target/release/$exp "$@" 2>&1 | tee results/logs/$exp.log; then
+        echo "=== FAILED: $exp — see results/logs/$exp.log ===" >&2
+        exit 1
+    fi
 done
 echo "=== rendering summary ==="
-./target/release/summarize "$@" 2>&1 | tee results/logs/summarize.log
+if ! ./target/release/summarize "$@" 2>&1 | tee results/logs/summarize.log; then
+    echo "=== FAILED: summarize — see results/logs/summarize.log ===" >&2
+    exit 1
+fi
 if [ -n "$trace_dir" ]; then
     echo "=== rendering trace report ==="
-    ./target/release/trace_report "$trace_dir" 2>&1 | tee results/logs/trace_report.log
+    if ! ./target/release/trace_report "$trace_dir" 2>&1 | tee results/logs/trace_report.log; then
+        echo "=== FAILED: trace_report — see results/logs/trace_report.log ===" >&2
+        exit 1
+    fi
 fi
 echo "=== all experiments done ($(date +%H:%M:%S)) ==="

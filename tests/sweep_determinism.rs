@@ -1,0 +1,102 @@
+//! The sweep engine's core guarantee: a `cells × seeds` sweep
+//! produces byte-identical records whether the jobs run serially
+//! in-process, on one scheduler thread, or across eight — scheduling
+//! must never leak into results.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use adaptivefl_bench::sweep::io::{read_records, write_record};
+use adaptivefl_bench::sweep::{evaluate_claims, grids, run_parallel, Cell, CellRecord, JobOpts};
+
+const SEEDS: [u64; 3] = [2024, 2025, 2026];
+
+fn jobs(cells: &[Cell]) -> Vec<(&Cell, u64)> {
+    cells
+        .iter()
+        .flat_map(|c| SEEDS.iter().map(move |s| (c, *s)))
+        .collect()
+}
+
+fn sweep_records(cells: &[Cell], threads: usize) -> Vec<CellRecord> {
+    let opts = JobOpts::default();
+    run_parallel(&jobs(cells), threads, |_, (cell, seed)| {
+        CellRecord::new(cell, *seed, &cell.execute(*seed, &opts))
+    })
+}
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("adaptivefl-sweep-det-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Serialized bytes of every record file a sweep would write, keyed
+/// by relative path.
+fn on_disk_bytes(records: &[CellRecord], tag: &str) -> BTreeMap<String, Vec<u8>> {
+    let root = tmp_root(tag);
+    for r in records {
+        write_record(&root, r).expect("write record");
+    }
+    // Round-trip through read_records so the comparison covers the
+    // full persistence path, then collect raw bytes per file.
+    assert_eq!(read_records(&root).expect("read back").len(), records.len());
+    let mut out = BTreeMap::new();
+    for r in records {
+        let rel = format!("{}/{}.json", r.slug, r.seed);
+        let bytes = std::fs::read(root.join(&rel)).expect("record file");
+        out.insert(rel, bytes);
+    }
+    std::fs::remove_dir_all(&root).expect("cleanup");
+    out
+}
+
+#[test]
+fn sweep_is_thread_count_invariant_and_matches_serial() {
+    let cells = grids::tiny(2024);
+    assert!(!cells.is_empty());
+
+    // Serial in-process reference: plain loop, no scheduler at all.
+    let opts = JobOpts::default();
+    let serial: Vec<CellRecord> = jobs(&cells)
+        .into_iter()
+        .map(|(cell, seed)| CellRecord::new(cell, seed, &cell.execute(seed, &opts)))
+        .collect();
+
+    let one = sweep_records(&cells, 1);
+    let eight = sweep_records(&cells, 8);
+    assert_eq!(serial, one, "1-thread scheduler must equal a plain loop");
+    assert_eq!(one, eight, "8 threads must equal 1 thread");
+
+    // And the bytes on disk are identical too, not just the structs.
+    assert_eq!(
+        on_disk_bytes(&serial, "serial"),
+        on_disk_bytes(&eight, "eight")
+    );
+}
+
+#[test]
+fn verdicts_are_a_pure_function_of_records() {
+    let cells = grids::tiny(2024);
+    let records = sweep_records(&cells, 4);
+    let a = serde_json::to_string_pretty(&evaluate_claims(&records)).unwrap();
+    let b = serde_json::to_string_pretty(&evaluate_claims(&records)).unwrap();
+    assert_eq!(a, b);
+    // Record order must not matter either.
+    let mut reversed = records.clone();
+    reversed.reverse();
+    let c = serde_json::to_string_pretty(&evaluate_claims(&reversed)).unwrap();
+    assert_eq!(a, c);
+}
+
+#[test]
+fn seeds_produce_distinct_runs() {
+    let cells = grids::tiny(2024);
+    let records = sweep_records(&cells[..1], 2);
+    assert_eq!(records.len(), SEEDS.len());
+    let fps: Vec<u64> = records.iter().map(|r| r.fingerprint_fnv).collect();
+    assert!(
+        fps.windows(2).any(|w| w[0] != w[1]),
+        "different seeds should not all collide: {fps:?}"
+    );
+}
